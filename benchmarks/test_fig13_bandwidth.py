@@ -1,0 +1,60 @@
+"""Figure 13: system write-bandwidth utilization.
+
+The paper's microbenchmark: each thread issues 256-byte writes that
+alternate across the two memory controllers, ordered with an ofence
+between writes.  Conservative flushing (HOPS) stops and waits for one
+controller's acknowledgement while the other idles; eager flushing
+overlaps them.  The paper reports ASAP at roughly 2x HOPS.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import ModelSpec, sweep
+from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.workloads.microbench import BandwidthMicrobench
+
+OPS = 300
+THREADS = 4
+CPU_GHZ = 2.0
+
+# eADR is omitted: with battery-backed caches the benchmark issues no
+# flush traffic at all, so "delivered persist bandwidth" is undefined.
+MODELS = [
+    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
+    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
+    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
+]
+
+
+def run_figure13():
+    config = MachineConfig(num_cores=THREADS)
+    result = sweep([BandwidthMicrobench], MODELS, config, ops_per_thread=OPS)
+    total_bytes = BandwidthMicrobench(ops_per_thread=OPS).bytes_written(THREADS)
+    bandwidth = {}
+    rows = []
+    for model in [m.name for m in MODELS]:
+        cycles = result.runs[("bandwidth", model)].result.drain_cycles
+        seconds = cycles / (CPU_GHZ * 1e9)
+        gbps = total_bytes / seconds / 1e9
+        bandwidth[model] = gbps
+        rows.append([model, cycles, f"{gbps:.2f}"])
+    table = render_table(
+        ["model", "cycles", "GB/s"],
+        rows,
+        title=(
+            "Figure 13: delivered write bandwidth, 256B ofence-ordered "
+            "writes alternating across 2 MCs (paper: ASAP ~2x HOPS)"
+        ),
+    )
+    return table, bandwidth
+
+
+def test_fig13_bandwidth_utilization(benchmark, record):
+    table, bandwidth = benchmark.pedantic(run_figure13, rounds=1, iterations=1)
+    record("fig13_bandwidth", table)
+
+    # ASAP roughly doubles HOPS's delivered bandwidth (the paper's claim).
+    ratio = bandwidth["asap"] / bandwidth["hops"]
+    assert 1.5 < ratio < 3.0, ratio
+
+    # The baseline is no better than HOPS here (it stalls the core too).
+    assert bandwidth["baseline"] <= bandwidth["hops"] * 1.05

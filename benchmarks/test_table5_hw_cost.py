@@ -1,0 +1,46 @@
+"""Table V + Section VII-D: hardware overheads and draining energy.
+
+Table V sizes the persist buffer, epoch table and recovery table with
+CACTI 7 at 22 nm and compares them against a 32 KB L1.  Section VII-D
+compares the data each design must flush on power failure: eADR ~42 MB,
+BBB ~64 KB, ASAP < 4 KB.
+"""
+
+import pytest
+
+from repro.analysis.cacti import draining_comparison, table_v
+from repro.analysis.report import render_table
+
+
+def run_table5():
+    costs = table_v()
+    cost_table = render_table(
+        ["structure", "entries", "area (mm2)", "latency (ns)",
+         "write (pJ)", "read (pJ)"],
+        [c.row() for c in costs],
+        title="Table V: hardware overheads (CACTI-calibrated, 22nm)",
+    )
+    drain = draining_comparison()
+    drain_table = render_table(
+        ["design", "flush on power fail", "energy (uJ)"],
+        [c.row() for c in drain],
+        title="Section VII-D: draining cost comparison (32-core server)",
+    )
+    return costs, drain, cost_table + "\n\n" + drain_table
+
+
+def test_table5_hardware_cost(benchmark, record):
+    costs, drain, text = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    record("table5_hw_cost", text)
+
+    by_name = {c.name: c for c in costs}
+    # Reference rows reproduce the paper's Table V.
+    assert by_name["Persist Buffer"].area_mm2 == pytest.approx(0.093)
+    assert by_name["Epoch Table"].area_mm2 == pytest.approx(0.006)
+    assert by_name["Recovery Table"].area_mm2 == pytest.approx(0.097)
+    assert by_name["32KB L1 cache"].area_mm2 == pytest.approx(0.759)
+
+    # Draining ordering: eADR >> BBB >> ASAP.
+    eadr, bbb, asap = drain
+    assert eadr.bytes_to_flush > 100 * bbb.bytes_to_flush
+    assert bbb.bytes_to_flush > 10 * asap.bytes_to_flush

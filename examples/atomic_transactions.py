@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Atomicity on top of ordering: software transactions over ASAP.
+
+The paper positions ASAP as an *ordering* substrate: "if applications do
+require atomicity, ASAP can be coupled with ... software transactions".
+This example is that coupling, with a twist that shows what hardware
+ordering is worth:
+
+- **dfence commits** (PMDK-style) stall the core at every transaction end
+  until the commit record is durable;
+- **ordered commits** only *order* the commit record and let cross-thread
+  persist ordering (the thing ASAP accelerates) carry correctness.
+
+We run a bank-transfer workload both ways on several hardware models,
+measure throughput, then crash the adversarial variant a hundred times to
+show ordered commits are exactly as safe as the hardware's ordering --
+atomic on ASAP, broken on the no-undo ablation.
+
+Run:  python examples/atomic_transactions.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core.api import PMAllocator
+from repro.core.crash import run_and_crash
+from repro.core.machine import Machine
+from repro.sim.config import HardwareModel, MachineConfig, RunConfig
+from repro.tx import DurabilityMode, check_atomicity, recover
+from repro.tx.scenarios import adversarial_workload, bank_workload
+
+TXS = 40
+
+
+def throughput(hardware: HardwareModel, mode: DurabilityMode) -> float:
+    heap = PMAllocator()
+    programs, managers, _pvars = bank_workload(
+        heap, mode, txs_per_thread=TXS
+    )
+    machine = Machine(MachineConfig(num_cores=2), RunConfig(hardware=hardware))
+    result = machine.run(programs)
+    return 2 * TXS / result.runtime_cycles * 1000  # txs per kcycle
+
+
+def violations(hardware: HardwareModel, mode: DurabilityMode) -> int:
+    bad = 0
+    for crash_cycle in range(50, 6000, 53):
+        heap = PMAllocator()
+        programs, managers, pvars = adversarial_workload(heap, mode)
+        state = run_and_crash(
+            MachineConfig(num_cores=2), RunConfig(hardware=hardware),
+            programs, crash_cycle,
+        )
+        recovery = recover(state, managers, pvars)
+        if not check_atomicity(recovery, managers, initial={}).atomic:
+            bad += 1
+    return bad
+
+
+def main() -> None:
+    rows = []
+    for hardware in (HardwareModel.BASELINE, HardwareModel.HOPS,
+                     HardwareModel.ASAP, HardwareModel.EADR):
+        dfence = throughput(hardware, DurabilityMode.DFENCE)
+        ordered = throughput(hardware, DurabilityMode.ORDERED)
+        rows.append([
+            hardware.value, f"{dfence:.2f}", f"{ordered:.2f}",
+            f"{100 * (ordered / dfence - 1):+.0f}%",
+        ])
+    print(render_table(
+        ["model", "dfence commits", "ordered commits", "ordered gain"],
+        rows,
+        title="Bank transfers: throughput in transactions per 1000 cycles",
+    ))
+    print()
+    print("Note how the gain is a property of the hardware: ASAP turns the")
+    print("removed dfence into pure speed (matching eADR); HOPS actually")
+    print("slows down -- without the dfence draining them, its epochs pile")
+    print("up behind conservative flushing.")
+    print()
+
+    print("Crashing the adversarial scenario ~113 times per configuration:")
+    for hardware in (HardwareModel.ASAP, HardwareModel.ASAP_NO_UNDO):
+        for mode in DurabilityMode:
+            bad = violations(hardware, mode)
+            verdict = "ATOMICITY BROKEN" if bad else "atomic"
+            print(f"  {hardware.value:13s} + {mode.value:7s} commits: "
+                  f"{bad:3d} violations -> {verdict}")
+    print()
+    print("Ordered commits ride on the hardware's persist ordering: free")
+    print("speed on ASAP, silent corruption on hardware that reorders")
+    print("persists without recovery information.")
+
+
+if __name__ == "__main__":
+    main()

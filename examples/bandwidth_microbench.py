@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The Figure 13 experiment: multi-controller bandwidth under ordering.
+
+Each thread writes 256-byte blocks that alternate between the two memory
+controllers, with an ofence between blocks.  A conservative design must
+wait for controller A's acknowledgement before flushing the next block to
+controller B -- so one controller always idles.  ASAP flushes the next
+block early (speculatively) and keeps both controllers busy.
+
+Run:  python examples/bandwidth_microbench.py
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import ModelSpec, sweep
+from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.workloads.microbench import BandwidthMicrobench
+
+OPS = 300
+CPU_GHZ = 2.0
+
+MODELS = [
+    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
+    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
+    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
+]
+
+
+def main() -> None:
+    for threads in (1, 2, 4):
+        config = MachineConfig(num_cores=threads)
+        result = sweep([BandwidthMicrobench], MODELS, config, ops_per_thread=OPS)
+        total_bytes = BandwidthMicrobench(ops_per_thread=OPS).bytes_written(threads)
+        rows = []
+        for model in ("baseline", "hops", "asap"):
+            cycles = result.runs[("bandwidth", model)].result.drain_cycles
+            gbps = total_bytes / (cycles / (CPU_GHZ * 1e9)) / 1e9
+            spec = result.stat("bandwidth", model, "totSpecWrites")
+            rows.append([model, cycles, f"{gbps:.2f}", spec])
+        print(render_table(
+            ["model", "cycles", "GB/s", "early flushes"],
+            rows,
+            title=f"{threads} thread(s), 256B ofence-ordered writes, 2 MCs",
+        ))
+        print()
+    print("The early-flush column is the mechanism: every block ASAP sends")
+    print("before its predecessor's ACK is bandwidth a conservative design")
+    print("left on the table.  (Paper: ASAP ~2x HOPS on this benchmark.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Crash a machine mid-run and watch ASAP's undo records save the day.
+
+Two threads append records to a shared persistent log under a lock; the
+record payloads carry real values so we can inspect what a recovery would
+see.  We cut power at a series of instants and, for each crash:
+
+1. reconstruct the post-crash memory image (WPQ drain + undo unwinding,
+   Section V-E),
+2. run the machine-checked Theorem 2 verifier,
+3. show which records survived -- always a dependency-closed prefix.
+
+Then we do the same with the UNSOUND ``asap_no_undo`` ablation (eager
+flushing with the recovery table disabled) and show the verifier catching
+real ordering violations.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import (
+    Acquire,
+    Compute,
+    DFence,
+    HardwareModel,
+    MachineConfig,
+    OFence,
+    PMAllocator,
+    Release,
+    RunConfig,
+    Store,
+    run_and_crash,
+    check_consistency,
+)
+from repro.core.api import Load
+
+
+def ledger_workload(heap: PMAllocator, entries_per_thread: int = 10):
+    """Two tellers appending to one persistent ledger."""
+    lock = heap.alloc_lock()
+    ledger = heap.alloc_lines(64)
+    head = heap.alloc_lines(1)
+    counter = {"next": 0}
+
+    def teller(tid):
+        def program():
+            for i in range(entries_per_thread):
+                yield Compute(120)
+                yield Acquire(lock)
+                yield Load(head, 8)
+                slot = counter["next"]
+                counter["next"] += 1
+                # entry first, ordered, then the head pointer names it
+                yield Store(ledger + slot * 64, 48,
+                            payload=f"entry-{slot}-by-t{tid}")
+                yield OFence()
+                yield Store(head, 8, payload=slot)
+                yield Release(lock)
+            yield DFence()
+
+        return program()
+
+    return [teller(0), teller(1)], ledger, head
+
+
+def survivors(state, ledger, head, total):
+    entries = []
+    for slot in range(total):
+        payload = state.surviving_payload(ledger + slot * 64)
+        if payload is not None:
+            entries.append(payload)
+    head_value = state.surviving_payload(head, default="(pristine)")
+    return entries, head_value
+
+
+def crash_series(hardware: HardwareModel, label: str) -> None:
+    print(f"--- {label} ---")
+    total = 20
+    violations = 0
+    for crash_cycle in (500, 1500, 3000, 6000, 12000, 10**8):
+        heap = PMAllocator()
+        programs, ledger, head = ledger_workload(heap)
+        state = run_and_crash(
+            MachineConfig(num_cores=2),
+            RunConfig(hardware=hardware),
+            programs,
+            crash_cycle,
+        )
+        report = check_consistency(state.log, state.media)
+        entries, head_value = survivors(state, ledger, head, total)
+        when = "end of run" if crash_cycle == 10**8 else f"cycle {crash_cycle}"
+        verdict = "consistent" if report.consistent else "INCONSISTENT"
+        print(f"crash at {when:>12}: {len(entries):2d}/{total} entries, "
+              f"head={head_value!s:>12}  -> {verdict}")
+        if not report.consistent:
+            violations += 1
+            print(f"    {report.violations[0].describe()}")
+    print()
+    return violations
+
+
+def adversarial_workload(heap: PMAllocator):
+    """One controller jammed with traffic, a dependency crossing to the
+    other: the precise situation undo records exist for."""
+
+    def mc_lines(base, mc, count):
+        out, addr = [], base
+        while len(out) < count:
+            if (addr // 256) % 2 == mc:
+                out.append(addr)
+            addr += 64
+        return out
+
+    chunk = heap.alloc(64 * 1024, align=256)
+    burst = mc_lines(chunk, 0, 24)
+    a = mc_lines(chunk + 32 * 1024, 0, 1)[0]
+    b = mc_lines(chunk + 48 * 1024, 1, 1)[0]
+
+    def producer():
+        for addr in burst:
+            yield Store(addr, 64)
+        yield Store(a, 64, payload="the-data")
+        yield Compute(2000)
+        yield OFence()
+        yield DFence()
+
+    def consumer():
+        yield Compute(60)
+        yield Load(a, 8)  # reads the producer's data: a dependency
+        yield Store(b, 64, payload="pointer-to-data")  # must not outlive it
+        yield OFence()
+        yield DFence()
+
+    return [producer(), consumer()]
+
+
+def hunt_violation(hardware: HardwareModel) -> int:
+    """Crash the adversarial scenario at many instants; count violations."""
+    from repro.sim.config import PersistencyModel
+
+    violations = 0
+    example = None
+    for crash_cycle in range(50, 4000, 37):
+        heap = PMAllocator()
+        state = run_and_crash(
+            MachineConfig(num_cores=2),
+            RunConfig(hardware=hardware, persistency=PersistencyModel.EPOCH),
+            adversarial_workload(heap),
+            crash_cycle,
+        )
+        report = check_consistency(state.log, state.media)
+        if not report.consistent:
+            violations += 1
+            if example is None:
+                example = (crash_cycle, report.violations[0].describe())
+    if example:
+        print(f"  first violation at cycle {example[0]}:")
+        print(f"    {example[1]}")
+    return violations
+
+
+def main() -> None:
+    crash_series(HardwareModel.ASAP, "ASAP: speculation with undo records")
+    print("Every crash recovered to a consistent state: the head pointer")
+    print("never names a ledger entry that failed to persist, because the")
+    print("memory controllers unwound any out-of-order speculation.\n")
+
+    print("--- adversarial scenario: jammed controller + dependency ---")
+    print("ASAP (undo records on):")
+    asap_bad = hunt_violation(HardwareModel.ASAP)
+    print(f"  {asap_bad} violations across ~100 crash instants\n")
+    print("ablation, recovery table disabled (UNSOUND):")
+    no_undo_bad = hunt_violation(HardwareModel.ASAP_NO_UNDO)
+    print(f"  {no_undo_bad} violations across the same instants\n")
+    if no_undo_bad and not asap_bad:
+        print("Without undo records the consumer's pointer can become")
+        print("durable while the data it names is still in flight --")
+        print("exactly the inconsistency Theorem 2 rules out for ASAP.")
+
+
+if __name__ == "__main__":
+    main()

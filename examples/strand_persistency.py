@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Strand persistency: independent commit chains (the Section VII-E idea).
+
+A logging thread updates two independent structures -- an append-only
+journal and a metadata table -- alternating between them with an ofence
+after every update.  Under plain epoch persistency the two structures'
+epochs form one chain: a slow journal epoch delays every later metadata
+commit.  Declaring each structure a *strand* (one `NewStrand` per switch)
+cuts the false ordering: each structure's chain commits independently.
+
+The effect shows up in three places:
+
+1. fewer *early* flushes (a strand-start epoch is safe immediately);
+2. a cheaper final dfence (commit chains run in parallel);
+3. after a crash, one structure's recent writes can survive the other's
+   loss -- which the (strand-aware) Theorem 2 checker accepts.
+
+Run:  python examples/strand_persistency.py
+"""
+
+from repro import (
+    DFence,
+    HardwareModel,
+    Machine,
+    MachineConfig,
+    OFence,
+    PMAllocator,
+    RunConfig,
+    Store,
+    check_consistency,
+    crash_machine,
+)
+from repro.core.api import Compute, NewStrand
+
+
+def workload(heap: PMAllocator, use_strands: bool, updates: int = 40):
+    journal = heap.alloc_lines(64)
+    metadata = heap.alloc_lines(16)
+
+    def program():
+        for i in range(updates):
+            if use_strands:
+                yield NewStrand()
+            yield Store(journal + (i % 64) * 64, 64)  # journal append
+            yield OFence()
+            if use_strands:
+                yield NewStrand()
+            yield Store(metadata + (i % 16) * 64, 16)  # metadata update
+            yield OFence()
+            yield Compute(40)
+        yield DFence()
+
+    return program()
+
+
+def run(use_strands: bool):
+    machine = Machine(
+        MachineConfig(num_cores=1), RunConfig(hardware=HardwareModel.ASAP)
+    )
+    heap = PMAllocator()
+    result = machine.run([workload(heap, use_strands)])
+    return result
+
+
+def main() -> None:
+    plain = run(use_strands=False)
+    stranded = run(use_strands=True)
+    print("ASAP, one thread, alternating journal/metadata updates:")
+    print(f"  {'':22s}{'plain epochs':>14s}{'strands':>10s}")
+    for label, getter in [
+        ("runtime (cycles)", lambda r: r.runtime_cycles),
+        ("early flushes", lambda r: r.stats.total("totSpecWrites")),
+        ("undo records", lambda r: r.stats.total("totalUndo")),
+        ("dfence stall (cyc)", lambda r: r.stats.total("dfenceStalled")),
+    ]:
+        print(f"  {label:22s}{getter(plain):>14d}{getter(stranded):>10d}")
+    print()
+
+    # Crash the stranded run midway and show independent survival.
+    machine = Machine(
+        MachineConfig(num_cores=1), RunConfig(hardware=HardwareModel.ASAP)
+    )
+    heap = PMAllocator()
+    machine.run_until([workload(heap, use_strands=True)], crash_cycle=2500)
+    state = crash_machine(machine)
+    report = check_consistency(state.log, state.media)
+    print(f"crash at cycle 2500: {report.summary()}")
+    print("The two structures' strands persist independently; without the")
+    print("NewStrand boundaries the same crash state would violate epoch")
+    print("ordering (a later metadata epoch surviving a lost journal one).")
+
+
+if __name__ == "__main__":
+    main()

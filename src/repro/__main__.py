@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # stdout was closed early (e.g. piped into `head`); exit quietly.
+    sys.exit(0)

@@ -1,0 +1,32 @@
+"""Analysis utilities: hardware-cost models and experiment drivers.
+
+- :mod:`repro.analysis.cacti`  -- analytical CAM/SRAM cost model
+  calibrated to the paper's CACTI 7 @ 22 nm numbers (Table V) plus the
+  draining-energy comparison of Section VII-D.
+- :mod:`repro.analysis.sweeps` -- multi-model multi-workload experiment
+  driver with normalization helpers (speedup-vs-baseline and friends).
+- :mod:`repro.analysis.report` -- plain-text table/series rendering used
+  by the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.analysis.cacti import (
+    DrainingCost,
+    HardwareCost,
+    draining_comparison,
+    table_v,
+)
+from repro.analysis.report import render_series, render_table
+from repro.analysis.sweeps import ModelSpec, STANDARD_MODELS, SweepResult, sweep
+
+__all__ = [
+    "DrainingCost",
+    "HardwareCost",
+    "ModelSpec",
+    "STANDARD_MODELS",
+    "SweepResult",
+    "draining_comparison",
+    "render_series",
+    "render_table",
+    "sweep",
+    "table_v",
+]

@@ -1,0 +1,52 @@
+"""Plain-text rendering of tables and series.
+
+The benchmarks print their figures as aligned text tables so the paper's
+rows/series can be compared directly in the terminal and pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = ", ".join(f"{x}={y:.2f}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+__all__ = ["format_speedup", "render_series", "render_table"]

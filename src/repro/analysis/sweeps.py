@@ -1,0 +1,109 @@
+"""Experiment driver: run workloads across hardware models and normalize.
+
+All the figure benchmarks are built on :func:`sweep`, which runs a list
+of workloads under a list of model specs on a given machine configuration
+and returns runtimes, speedups, and the full per-run results for stat
+extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.sim.config import (
+    HardwareModel,
+    MachineConfig,
+    PersistencyModel,
+    RunConfig,
+)
+from repro.workloads.base import Workload, WorkloadResult, run_workload
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One evaluated design: a hardware model under a persistency model."""
+
+    name: str
+    hardware: HardwareModel
+    persistency: PersistencyModel
+
+    def run_config(self, **kwargs) -> RunConfig:
+        return RunConfig(
+            hardware=self.hardware, persistency=self.persistency, **kwargs
+        )
+
+
+#: the six designs of Figure 8, in presentation order.
+STANDARD_MODELS: List[ModelSpec] = [
+    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
+    ModelSpec("hops_ep", HardwareModel.HOPS, PersistencyModel.EPOCH),
+    ModelSpec("hops_rp", HardwareModel.HOPS, PersistencyModel.RELEASE),
+    ModelSpec("asap_ep", HardwareModel.ASAP, PersistencyModel.EPOCH),
+    ModelSpec("asap_rp", HardwareModel.ASAP, PersistencyModel.RELEASE),
+    ModelSpec("eadr", HardwareModel.EADR, PersistencyModel.RELEASE),
+]
+
+#: release-persistency-only comparison (Sections VII-B onward use RP).
+RP_MODELS: List[ModelSpec] = [
+    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
+    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
+    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
+    ModelSpec("eadr", HardwareModel.EADR, PersistencyModel.RELEASE),
+]
+
+
+@dataclass
+class SweepResult:
+    """Results of one workload x model sweep."""
+
+    workloads: List[str]
+    models: List[str]
+    #: (workload, model) -> full run result.
+    runs: Dict[tuple, WorkloadResult] = field(default_factory=dict)
+
+    def runtime(self, workload: str, model: str) -> int:
+        return self.runs[(workload, model)].runtime_cycles
+
+    def speedup(self, workload: str, model: str, over: str = "baseline") -> float:
+        return self.runtime(workload, over) / self.runtime(workload, model)
+
+    def speedups(self, model: str, over: str = "baseline") -> List[float]:
+        return [self.speedup(w, model, over) for w in self.workloads]
+
+    def geomean_speedup(self, model: str, over: str = "baseline") -> float:
+        values = self.speedups(model, over)
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))
+
+    def stat(self, workload: str, model: str, name: str) -> int:
+        return self.runs[(workload, model)].stats.total(name)
+
+
+def sweep(
+    workload_classes: Sequence[Type[Workload]],
+    models: Sequence[ModelSpec],
+    config: Optional[MachineConfig] = None,
+    ops_per_thread: int = 120,
+    num_threads: Optional[int] = None,
+    seed: int = 7,
+) -> SweepResult:
+    """Run every workload under every model."""
+    config = config or MachineConfig()
+    result = SweepResult(
+        workloads=[cls.name for cls in workload_classes],
+        models=[m.name for m in models],
+    )
+    for cls in workload_classes:
+        for model in models:
+            workload = cls(ops_per_thread=ops_per_thread, seed=seed)
+            run = run_workload(
+                workload, config, model.run_config(), num_threads=num_threads
+            )
+            result.runs[(cls.name, model.name)] = run
+    return result
+
+
+__all__ = ["ModelSpec", "RP_MODELS", "STANDARD_MODELS", "SweepResult", "sweep"]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the original artifact's ``run.sh <workload> <persistency model>``
+workflow:
+
+- ``run``     -- run one workload under one model; print (or save) a
+  gem5-style stats.txt.
+- ``compare`` -- run workloads across models and print speedup tables
+  (Figure 8 style).
+- ``crash``   -- crash a workload at a chosen cycle and print the
+  Theorem 2 consistency report.
+- ``list``    -- enumerate workloads and models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_table
+from repro.analysis.statsfile import format_stats, write_stats
+from repro.analysis.sweeps import ModelSpec, STANDARD_MODELS, sweep
+from repro.core.api import PMAllocator
+from repro.core.crash import run_and_crash
+from repro.core.machine import Machine
+from repro.sim.config import (
+    HardwareModel,
+    MachineConfig,
+    PersistencyModel,
+    RunConfig,
+)
+from repro.verify import check_consistency
+from repro.workloads import get_workload, run_workload, workload_names
+from repro.workloads.registry import MICROBENCHES, SUITE
+
+MODEL_CHOICES = {
+    "baseline": (HardwareModel.BASELINE, PersistencyModel.RELEASE),
+    "hops_ep": (HardwareModel.HOPS, PersistencyModel.EPOCH),
+    "hops_rp": (HardwareModel.HOPS, PersistencyModel.RELEASE),
+    "asap_ep": (HardwareModel.ASAP, PersistencyModel.EPOCH),
+    "asap_rp": (HardwareModel.ASAP, PersistencyModel.RELEASE),
+    "eadr": (HardwareModel.EADR, PersistencyModel.RELEASE),
+    "vorpal": (HardwareModel.VORPAL, PersistencyModel.RELEASE),
+    "asap_no_undo": (HardwareModel.ASAP_NO_UNDO, PersistencyModel.RELEASE),
+}
+
+
+def _machine_config(args) -> MachineConfig:
+    return MachineConfig(num_cores=args.threads, num_mcs=args.mcs)
+
+
+def _run_config(model: str, seed: int) -> RunConfig:
+    hardware, persistency = MODEL_CHOICES[model]
+    return RunConfig(hardware=hardware, persistency=persistency, seed=seed)
+
+
+def cmd_list(_args) -> int:
+    print("workloads (Table III):")
+    for cls in SUITE:
+        print(f"  {cls.name:12s} [{cls.category}]")
+    print("microbenchmarks:")
+    for cls in MICROBENCHES:
+        print(f"  {cls.name:12s} [{cls.category}]")
+    print("models:")
+    for name in MODEL_CHOICES:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = get_workload(args.workload, ops_per_thread=args.ops,
+                            seed=args.seed)
+    result = run_workload(
+        workload, _machine_config(args), _run_config(args.model, args.seed)
+    )
+    text = format_stats(result.result)
+    if args.stats:
+        write_stats(result.result, args.stats)
+        print(f"wrote {args.stats}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    names = args.workloads or workload_names()
+    classes = [type(get_workload(name)) for name in names]
+    models = (
+        STANDARD_MODELS
+        if not args.models
+        else [
+            ModelSpec(m, *MODEL_CHOICES[m]) for m in args.models
+        ]
+    )
+    result = sweep(
+        classes, models, _machine_config(args),
+        ops_per_thread=args.ops, seed=args.seed,
+    )
+    model_names = [m.name for m in models]
+    baseline = model_names[0]
+    rows = []
+    for name in result.workloads:
+        rows.append(
+            [name]
+            + [f"{result.speedup(name, m, over=baseline):.2f}"
+               for m in model_names]
+        )
+    rows.append(
+        ["geomean"]
+        + [f"{result.geomean_speedup(m, over=baseline):.2f}"
+           for m in model_names]
+    )
+    print(render_table(
+        ["workload"] + model_names, rows,
+        title=f"speedup over {baseline} "
+              f"({args.threads} threads, {args.ops} ops/thread)",
+    ))
+    return 0
+
+
+def cmd_crash(args) -> int:
+    workload = get_workload(args.workload, ops_per_thread=args.ops,
+                            seed=args.seed)
+    heap = PMAllocator()
+    programs = workload.programs(heap, args.threads)
+    state = run_and_crash(
+        _machine_config(args), _run_config(args.model, args.seed),
+        programs, args.at,
+    )
+    report = check_consistency(state.log, state.media)
+    survived = sum(1 for v in state.media.values() if v)
+    print(f"crashed {args.workload} on {args.model} at cycle "
+          f"{state.crash_cycle}")
+    print(f"surviving lines: {survived}; "
+          f"epochs damaged: {len(report.damaged)}, "
+          f"surviving: {len(report.survivors)}")
+    print(report.summary())
+    return 0 if report.consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASAP (HPCA 2022) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--threads", type=int, default=4)
+        p.add_argument("--mcs", type=int, default=2)
+        p.add_argument("--ops", type=int, default=100,
+                       help="operations per thread")
+        p.add_argument("--seed", type=int, default=7)
+
+    p_list = sub.add_parser("list", help="list workloads and models")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one workload on one model")
+    p_run.add_argument("workload")
+    p_run.add_argument("--model", choices=MODEL_CHOICES, default="asap_rp")
+    p_run.add_argument("--stats", help="write gem5-style stats.txt here")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="speedup table across models")
+    p_cmp.add_argument("--workloads", nargs="*",
+                       help="default: the full Table III suite")
+    p_cmp.add_argument("--models", nargs="*", choices=MODEL_CHOICES,
+                       help="first one is the normalization baseline")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_crash = sub.add_parser("crash", help="crash a run and check recovery")
+    p_crash.add_argument("workload")
+    p_crash.add_argument("--model", choices=MODEL_CHOICES, default="asap_rp")
+    p_crash.add_argument("--at", type=int, required=True,
+                         help="crash cycle")
+    common(p_crash)
+    p_crash.set_defaults(func=cmd_crash)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

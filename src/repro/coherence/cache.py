@@ -1,0 +1,165 @@
+"""Set-associative LRU cache models.
+
+The hierarchy mirrors Table II: private 32 kB L1, private 2 MB L2, shared
+16 MB LLC.  The model answers one question per access -- *how long does it
+take?* -- and tracks hit/miss statistics.  Data values never live in the
+cache model (the simulator's value plane is the write-id store in
+:mod:`repro.mem.nvm`), so evictions only matter for their interaction with
+the persist path:
+
+- dirty *persistent* lines evicted from the LLC are dropped, because in the
+  buffered designs the persist path goes through the persist buffer, not
+  the cache (Section V-A);
+- private-cache evictions of lines still queued in a persist buffer are
+  held in the write-back buffer (:mod:`repro.coherence.wbb`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.config import CacheConfig
+from repro.sim.engine import ns_to_cycles
+from repro.sim.stats import StatsRegistry
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, config: CacheConfig, stats: StatsRegistry, scope: str) -> None:
+        self.config = config
+        self.stats = stats
+        self.scope = scope
+        self.latency = ns_to_cycles(config.latency_ns)
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.line_bytes = config.line_bytes
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_of(self, line: int) -> "OrderedDict[int, bool]":
+        return self._sets[(line // self.line_bytes) % self.num_sets]
+
+    def lookup(self, line: int, touch: bool = True) -> bool:
+        """Return True on hit.  ``touch`` refreshes LRU order."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            if touch:
+                cache_set.move_to_end(line)
+            self.stats.inc("cache_hits", scope=self.scope)
+            return True
+        self.stats.inc("cache_misses", scope=self.scope)
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert ``line``; return the evicted ``(line, dirty)`` if any."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            cache_set[line] = cache_set[line] or dirty
+            cache_set.move_to_end(line)
+            return None
+        victim: Optional[Tuple[int, bool]] = None
+        if len(cache_set) >= self.ways:
+            victim = cache_set.popitem(last=False)
+            self.stats.inc("cache_evictions", scope=self.scope)
+        cache_set[line] = dirty
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            cache_set[line] = True
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line``; return True if it was present."""
+        cache_set = self._set_of(line)
+        return cache_set.pop(line, None) is not None
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._set_of(line)
+
+
+class CacheHierarchy:
+    """Private L1 + private L2 + shared LLC for one core.
+
+    ``access`` returns the access latency in cycles and drives fills and
+    evictions.  The shared LLC instance is passed in by the machine so all
+    cores see the same one.  ``memory_latency`` is a callback supplied by
+    the machine that charges the NVM (or DRAM) read for a miss all the way
+    down, and ``on_private_eviction`` lets the persist path interpose the
+    write-back buffer.
+    """
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        llc: Cache,
+        memory_latency: Callable[[int], int],
+        on_private_eviction: Optional[Callable[[int, bool], None]] = None,
+        on_llc_eviction: Optional[Callable[[int, bool], None]] = None,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.llc = llc
+        self._memory_latency = memory_latency
+        self._on_private_eviction = on_private_eviction or (lambda line, dirty: None)
+        self._on_llc_eviction = on_llc_eviction or (lambda line, dirty: None)
+
+    def access(self, line: int, is_write: bool) -> int:
+        """Perform one access; return its latency in cycles."""
+        return self.access_ex(line, is_write)[0]
+
+    def access_ex(self, line: int, is_write: bool) -> Tuple[int, str]:
+        """Perform one access; return ``(latency, level)`` where level is
+        the hierarchy level that serviced it: l1 | l2 | llc | mem.
+
+        The level matters to the coherence layer: cross-thread dependence
+        checks only fire on private-cache misses (a hit means no coherence
+        request left the core, so no dependence information could have
+        been exchanged)."""
+        latency = self.l1.latency
+        if self.l1.lookup(line):
+            if is_write:
+                self.l1.mark_dirty(line)
+            return latency, "l1"
+        latency += self.l2.latency
+        if self.l2.lookup(line):
+            self._fill_l1(line, is_write)
+            return latency, "l2"
+        latency += self.llc.latency
+        if self.llc.lookup(line):
+            self._fill_private(line, is_write)
+            return latency, "llc"
+        latency += self._memory_latency(line)
+        victim = self.llc.fill(line)
+        if victim is not None:
+            self._on_llc_eviction(*victim)
+        self._fill_private(line, is_write)
+        return latency, "mem"
+
+    def _fill_private(self, line: int, is_write: bool) -> None:
+        victim = self.l2.fill(line)
+        if victim is not None:
+            self._on_private_eviction(*victim)
+        self._fill_l1(line, is_write)
+
+    def _fill_l1(self, line: int, is_write: bool) -> None:
+        victim = self.l1.fill(line, dirty=is_write)
+        if victim is not None:
+            # L1 victims land in the L2 (inclusive-ish simplification).
+            l2_victim = self.l2.fill(victim[0], dirty=victim[1])
+            if l2_victim is not None:
+                self._on_private_eviction(*l2_victim)
+        elif is_write:
+            self.l1.mark_dirty(line)
+
+    def invalidate(self, line: int) -> None:
+        """Remove ``line`` from the private levels (coherence downgrade)."""
+        self.l1.invalidate(line)
+        self.l2.invalidate(line)
+
+
+__all__ = ["Cache", "CacheHierarchy"]

@@ -1,0 +1,85 @@
+"""Coherence directory with epoch-dependence tracking.
+
+ASAP (like HOPS before it) extends the coherence protocol: when a thread
+receives a coherence request for a cache line it recently wrote, the reply
+carries the writer's current epoch number, and *both* threads start new
+epochs -- the requester's new epoch depends on the writer's (Section IV-E).
+Creating new epochs on both sides is what keeps the epoch dependency graph
+acyclic (Lemma 0.1, borrowed from the epoch deadlock-avoidance mechanism of
+Joshi et al.).
+
+This directory is intentionally simpler than a full MESI state machine: the
+simulation's value plane doesn't need coherence (threads are interleaved by
+the event engine), so what matters architecturally is (a) the extra latency
+of a remote-owned access and (b) *which writer/epoch a conflicting access
+hits*.  Both are answered here; the model layer decides whether the hit
+constitutes a live dependency (it does only while the writer's epoch is
+still uncommitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class OwnerInfo:
+    """Who last wrote a line, and in which epoch."""
+
+    core: int
+    epoch_ts: int
+
+
+class Directory:
+    """Tracks the last writer and current sharers of every written line."""
+
+    def __init__(self, stats: StatsRegistry) -> None:
+        self.stats = stats
+        self._owner: Dict[int, OwnerInfo] = {}
+        self._sharers: Dict[int, set] = {}
+
+    def record_write(self, line: int, core: int, epoch_ts: int) -> "list[int]":
+        """Note that ``core`` wrote ``line`` during epoch ``epoch_ts``.
+
+        Returns the cores whose cached copies must be invalidated (the
+        previous sharers and owner, excluding the writer itself).
+        """
+        previous_owner = self._owner.get(line)
+        to_invalidate = set(self._sharers.pop(line, ()))
+        if previous_owner is not None:
+            to_invalidate.add(previous_owner.core)
+        to_invalidate.discard(core)
+        self._owner[line] = OwnerInfo(core=core, epoch_ts=epoch_ts)
+        return sorted(to_invalidate)
+
+    def record_read(self, line: int, core: int) -> None:
+        """Note that ``core`` now shares ``line``."""
+        self._sharers.setdefault(line, set()).add(core)
+
+    def owner_of(self, line: int) -> Optional[OwnerInfo]:
+        return self._owner.get(line)
+
+    def conflicting_access(self, line: int, core: int) -> Optional[OwnerInfo]:
+        """Return the foreign last-writer of ``line``, if any.
+
+        A *conflicting access* in the persistency-model sense: the line was
+        last written by a different core.  The caller decides whether this
+        creates a live cross-thread persist dependency (only if the owner's
+        epoch is still in flight) and charges the remote-access latency.
+        """
+        owner = self._owner.get(line)
+        if owner is None or owner.core == core:
+            return None
+        self.stats.inc("directory_remote_hits")
+        return owner
+
+    def forget(self, line: int) -> None:
+        """Drop tracking for a line (e.g. freed memory)."""
+        self._owner.pop(line, None)
+        self._sharers.pop(line, None)
+
+
+__all__ = ["Directory", "OwnerInfo"]

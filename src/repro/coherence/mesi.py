@@ -1,0 +1,216 @@
+"""A directory-based MESI coherence protocol model.
+
+Table II specifies "MESI three level"; this module models the protocol
+explicitly: per line, each core is in Modified / Exclusive / Shared /
+Invalid, with a directory tracking the owner and sharer set.  It is a
+drop-in superset of :class:`repro.coherence.directory.Directory` -- the
+machine consumes the same owner/sharer queries for dependence tracking --
+but makes the protocol events first-class:
+
+- reads take a line to **E** (no sharers) or **S** (downgrading an **M**
+  or **E** holder, which is a cache-to-cache transfer);
+- writes take a line to **M**, invalidating every other copy;
+- the **single-writer / multiple-reader** invariant is checked on every
+  transition (:meth:`MESIDirectory.check_swmr`).
+
+For ASAP, the interesting part rides on these events: a forwarded
+request to an **M** line is exactly where the epoch-dependence payload of
+Section IV-E travels, so the transition result carries the writer's
+epoch information.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coherence.directory import OwnerInfo
+from repro.sim.stats import StatsRegistry
+
+
+class LineState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class Transition:
+    """What one access did to the protocol state."""
+
+    #: the requester's resulting state for the line.
+    new_state: LineState
+    #: cores whose copies were invalidated (write) or downgraded (read).
+    invalidated: List[int] = field(default_factory=list)
+    downgraded: List[int] = field(default_factory=list)
+    #: last *writer* of the line, with its epoch -- the dependence payload
+    #: a forwarded request carries (None if the line was never written or
+    #: the requester is that writer).
+    source: Optional[OwnerInfo] = None
+    #: True when the data came from another core's cache (M/E holder).
+    cache_to_cache: bool = False
+
+
+@dataclass
+class _LineEntry:
+    #: core id -> protocol state (absent = Invalid).
+    states: Dict[int, LineState] = field(default_factory=dict)
+    #: (core, epoch_ts) of the most recent writer, for dependence info.
+    last_writer: Optional[OwnerInfo] = None
+
+
+class MESIDirectory:
+    """Directory-tracked MESI over an arbitrary number of cores."""
+
+    def __init__(self, num_cores: int, stats: StatsRegistry) -> None:
+        self.num_cores = num_cores
+        self.stats = stats
+        self._lines: Dict[int, _LineEntry] = {}
+
+    def _entry(self, line: int) -> _LineEntry:
+        entry = self._lines.get(line)
+        if entry is None:
+            entry = _LineEntry()
+            self._lines[line] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # protocol transitions
+    # ------------------------------------------------------------------
+
+    def read(self, core: int, line: int) -> Transition:
+        """Core issues a read (GetS)."""
+        entry = self._entry(line)
+        state = entry.states.get(core, LineState.INVALID)
+        if state in (LineState.MODIFIED, LineState.EXCLUSIVE, LineState.SHARED):
+            # silent hit: no directory interaction
+            return Transition(new_state=state)
+
+        downgraded: List[int] = []
+        cache_to_cache = False
+        for other, other_state in list(entry.states.items()):
+            if other_state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                # forward: owner supplies data and downgrades to S
+                entry.states[other] = LineState.SHARED
+                downgraded.append(other)
+                cache_to_cache = True
+                self.stats.inc("mesi_downgrades")
+        if entry.states:
+            new_state = LineState.SHARED
+        else:
+            new_state = LineState.EXCLUSIVE  # sole copy
+        entry.states[core] = new_state
+        self.check_swmr(line)
+        source = entry.last_writer if (
+            entry.last_writer and entry.last_writer.core != core
+        ) else None
+        return Transition(
+            new_state=new_state,
+            downgraded=downgraded,
+            source=source,
+            cache_to_cache=cache_to_cache,
+        )
+
+    def write(self, core: int, line: int, epoch_ts: int) -> Transition:
+        """Core issues a write (GetM / upgrade)."""
+        entry = self._entry(line)
+        state = entry.states.get(core, LineState.INVALID)
+        invalidated: List[int] = []
+        cache_to_cache = False
+        if state is not LineState.MODIFIED:
+            for other, other_state in list(entry.states.items()):
+                if other == core:
+                    continue
+                if other_state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                    cache_to_cache = True
+                del entry.states[other]
+                invalidated.append(other)
+                self.stats.inc("mesi_invalidations")
+        source = entry.last_writer if (
+            entry.last_writer and entry.last_writer.core != core
+        ) else None
+        entry.states[core] = LineState.MODIFIED
+        entry.last_writer = OwnerInfo(core=core, epoch_ts=epoch_ts)
+        self.check_swmr(line)
+        return Transition(
+            new_state=LineState.MODIFIED,
+            invalidated=sorted(invalidated),
+            source=source,
+            cache_to_cache=cache_to_cache,
+        )
+
+    def evict(self, core: int, line: int) -> None:
+        """Core silently drops its copy (capacity eviction)."""
+        entry = self._lines.get(line)
+        if entry is not None:
+            entry.states.pop(core, None)
+
+    def update_writer_epoch(self, line: int, core: int, epoch_ts: int) -> None:
+        """Re-attribute the newest write to a different epoch.
+
+        Used when dependence handling opens a new epoch on the writing
+        core between the protocol transition and the store retiring."""
+        entry = self._lines.get(line)
+        if entry is not None and entry.last_writer is not None and (
+            entry.last_writer.core == core
+        ):
+            entry.last_writer = OwnerInfo(core=core, epoch_ts=epoch_ts)
+
+    # ------------------------------------------------------------------
+    # queries (Directory-compatible surface)
+    # ------------------------------------------------------------------
+
+    def state_of(self, core: int, line: int) -> LineState:
+        entry = self._lines.get(line)
+        if entry is None:
+            return LineState.INVALID
+        return entry.states.get(core, LineState.INVALID)
+
+    def owner_of(self, line: int) -> Optional[OwnerInfo]:
+        entry = self._lines.get(line)
+        return entry.last_writer if entry else None
+
+    def conflicting_access(self, line: int, core: int) -> Optional[OwnerInfo]:
+        owner = self.owner_of(line)
+        if owner is None or owner.core == core:
+            return None
+        self.stats.inc("directory_remote_hits")
+        return owner
+
+    def sharers_of(self, line: int) -> Set[int]:
+        entry = self._lines.get(line)
+        if entry is None:
+            return set()
+        return {
+            core for core, state in entry.states.items()
+            if state is not LineState.INVALID
+        }
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_swmr(self, line: int) -> None:
+        """Single-writer / multiple-reader: an M or E holder is alone."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return
+        exclusive = [
+            core for core, state in entry.states.items()
+            if state in (LineState.MODIFIED, LineState.EXCLUSIVE)
+        ]
+        if len(exclusive) > 1:
+            raise AssertionError(
+                f"SWMR violated on line {line:#x}: exclusive holders "
+                f"{exclusive}"
+            )
+        if exclusive and len(entry.states) > 1:
+            raise AssertionError(
+                f"SWMR violated on line {line:#x}: holder {exclusive[0]} "
+                f"coexists with {sorted(set(entry.states) - set(exclusive))}"
+            )
+
+
+__all__ = ["LineState", "MESIDirectory", "Transition"]

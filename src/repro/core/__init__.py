@@ -1,0 +1,50 @@
+"""The paper's contribution: speculative persistence hardware models.
+
+This package implements ASAP itself (persist buffers, epoch tables,
+recovery tables with undo/delay records, eager flushing, commit/CDR
+protocol) plus the designs it is evaluated against: the Intel
+clwb+sfence baseline, HOPS with conservative flushing and global-TS
+polling, and the eADR/BBB ideal.
+
+Entry point: :class:`repro.core.machine.Machine` assembles a full system
+and runs workload thread programs written against :mod:`repro.core.api`.
+"""
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    Op,
+    PMAllocator,
+    Release,
+    Store,
+)
+from repro.core.machine import Machine, RunResult
+from repro.sim.config import (
+    HardwareModel,
+    MachineConfig,
+    PersistencyModel,
+    RunConfig,
+    TABLE_II_CONFIG,
+)
+
+__all__ = [
+    "Acquire",
+    "Compute",
+    "DFence",
+    "HardwareModel",
+    "Load",
+    "Machine",
+    "MachineConfig",
+    "OFence",
+    "Op",
+    "PMAllocator",
+    "PersistencyModel",
+    "Release",
+    "RunConfig",
+    "RunResult",
+    "Store",
+    "TABLE_II_CONFIG",
+]

@@ -1,0 +1,156 @@
+"""Epochs, epoch identifiers, and the run's persist-ordering log.
+
+Two distinct things live here:
+
+1. :class:`EpochId` / :class:`EpochEntry` -- the *hardware* view of an
+   epoch, as tracked by the per-core epoch tables (Section V-A).
+
+2. :class:`EpochLog` -- the *semantic* record of a run: every persistent
+   write (id, line, epoch), the per-line volatile write order, and the
+   epoch dependency DAG (Figure 7).  The crash-consistency checker
+   (:mod:`repro.verify.consistency`) replays a crash against this log to
+   decide whether recovered memory is a legal state.  The log records only
+   the orderings the executing hardware model actually *guarantees*, so
+   the checker validates "the model preserves the orderings it claims to
+   enforce".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: An epoch is identified by (core index, per-core logical timestamp).
+EpochId = Tuple[int, int]
+
+
+@dataclass
+class EpochEntry:
+    """Epoch-table entry: the lifecycle state of one in-flight epoch.
+
+    Lifecycle (Section IV-B nomenclature):
+
+    - *closed*: a later epoch exists on this thread; no more writes will
+      join this epoch.
+    - *complete*: closed and every write has been ACKed by its controller.
+    - *safe*: the preceding epoch committed and the cross-thread
+      dependency (if any) has been resolved.
+    - *committed*: safe and complete (for ASAP, additionally the commit
+      messages to the MCs that saw early flushes have been ACKed).
+    """
+
+    ts: int
+    closed: bool = False
+    #: predecessor epoch in this epoch's strand (None for the first epoch
+    #: of a strand).  Without strand persistency this is simply ts - 1.
+    prev: Optional[int] = None
+    #: successor epoch in the same strand, once one is opened.
+    next_ts: Optional[int] = None
+    #: strand the epoch belongs to (0 unless NewStrand is used).
+    strand: int = 0
+    #: number of writes enqueued in the PB but not yet ACKed by an MC.
+    unacked: int = 0
+    #: cross-thread dependency: the source epoch this one must follow.
+    dep: Optional[EpochId] = None
+    dep_resolved: bool = True
+    #: epochs on other threads that depend on this one (CDR targets).
+    dependents: List[EpochId] = field(default_factory=list)
+    #: MC indices that received *early* flushes from this epoch (commit
+    #: messages go only to these, Section V-C).
+    early_mcs: Set[int] = field(default_factory=set)
+    #: commit messages sent, awaiting this many MC ACKs.
+    commit_acks_pending: int = 0
+    commit_sent: bool = False
+    committed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.closed and self.unacked == 0
+
+    def set_dep(self, dep: EpochId) -> None:
+        if self.dep is not None:
+            raise ValueError(
+                f"epoch {self.ts} already has a dependency; epochs are "
+                "split on every dependence-creating access"
+            )
+        self.dep = dep
+        self.dep_resolved = False
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One persistent store, as the checker sees it."""
+
+    write_id: int
+    line: int
+    core: int
+    epoch_ts: int
+
+
+class EpochLog:
+    """Semantic log of a run, consumed by the crash-consistency checker."""
+
+    def __init__(self) -> None:
+        self.writes: Dict[int, WriteRecord] = {}
+        #: per-line volatile (coherence) order of write ids, oldest first.
+        self.line_order: Dict[int, List[int]] = {}
+        #: cross-thread dependency edges: (source epoch, dependent epoch).
+        self.dep_edges: List[Tuple[EpochId, EpochId]] = []
+        #: epochs that begin a new strand: they have no implicit intra-
+        #: thread predecessor edge (strand persistency).
+        self.strand_starts: Set[EpochId] = set()
+        #: highest epoch timestamp seen per core (for DAG construction).
+        self.max_ts: Dict[int, int] = {}
+        #: optional payloads for demos: write id -> logical value.
+        self.payloads: Dict[int, object] = {}
+
+    def record_write(
+        self,
+        write_id: int,
+        line: int,
+        core: int,
+        epoch_ts: int,
+        payload: object = None,
+    ) -> None:
+        record = WriteRecord(
+            write_id=write_id, line=line, core=core, epoch_ts=epoch_ts
+        )
+        self.writes[write_id] = record
+        self.line_order.setdefault(line, []).append(write_id)
+        self._bump_ts(core, epoch_ts)
+        if payload is not None:
+            self.payloads[write_id] = payload
+
+    def record_dep(self, source: EpochId, dependent: EpochId) -> None:
+        self.dep_edges.append((source, dependent))
+        self._bump_ts(*source)
+        self._bump_ts(*dependent)
+
+    def record_strand_start(self, core: int, ts: int) -> None:
+        """Epoch (core, ts) begins a new strand: no implicit predecessor."""
+        self.strand_starts.add((core, ts))
+        self._bump_ts(core, ts)
+
+    def _bump_ts(self, core: int, ts: int) -> None:
+        if ts > self.max_ts.get(core, 0):
+            self.max_ts[core] = ts
+
+    def epoch_of_write(self, write_id: int) -> EpochId:
+        record = self.writes[write_id]
+        return (record.core, record.epoch_ts)
+
+    def newest_write_per_line(self) -> Dict[int, int]:
+        """Line -> newest write id in volatile order (the "all writes
+        durable" memory image, e.g. what eADR recovers to)."""
+        return {line: order[-1] for line, order in self.line_order.items()}
+
+    def num_epochs(self) -> int:
+        """Total epochs opened across all cores (Figure 2's first series)."""
+        return sum(self.max_ts.values())
+
+    def num_cross_deps(self) -> int:
+        """Cross-thread dependencies recorded (Figure 2's second series)."""
+        return len(self.dep_edges)
+
+
+__all__ = ["EpochEntry", "EpochId", "EpochLog", "WriteRecord"]

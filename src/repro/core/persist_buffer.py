@@ -1,0 +1,331 @@
+"""The Persist Buffer (PB).
+
+Section V-A: a per-core circular buffer alongside the private caches.
+Writes to NVM are enqueued here when the store updates the cache; the PB
+flushes them to the memory controllers in the background.  Which entries
+may be flushed *right now* is the essential difference between the
+evaluated designs, so the policy is injected by the hardware model:
+
+- baseline  -- every entry is flushable immediately (clwb semantics);
+  ordering comes from the core stalling at fences instead.
+- HOPS      -- conservative flushing: an entry is flushable only when its
+  epoch is *safe* (all prior epochs committed, cross-thread dependency
+  resolved).
+- ASAP      -- eager flushing: any queued entry is flushable; entries
+  whose epoch is not yet safe are tagged *early* in the flush packet.
+  After a NACK the buffer falls back to conservative flushing until the
+  NACKed epoch commits (Section V-D).
+
+The buffer coalesces stores to the same line within the same epoch, tracks
+the Figure 3 "blocked" statistic (cycles in which waiting entries exist but
+ordering forbids flushing any of them), and feeds the Figure 11 occupancy
+distribution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Engine, Waiter
+from repro.sim.stats import StatsRegistry
+
+
+class PBEntryState(enum.Enum):
+    QUEUED = "queued"  # waiting to be issued
+    INFLIGHT = "inflight"  # flush packet travelling / at the MC
+    NACK_WAIT = "nack_wait"  # NACKed; waiting to retry as a safe flush
+
+
+class EnqueueResult(enum.Enum):
+    """Outcome of a store entering the persist buffer.
+
+    The distinction matters to the epoch table: a COALESCED store shares
+    its entry's single future ACK, so it must not be counted as an extra
+    outstanding write (counting it would leave the epoch incomplete
+    forever)."""
+
+    ADDED = "added"
+    COALESCED = "coalesced"
+    FULL = "full"
+
+
+@dataclass
+class PBEntry:
+    """One buffered write."""
+
+    seq: int  # per-buffer sequence number (FIFO order, WBB handle)
+    line: int
+    write_id: int
+    epoch_ts: int
+    state: PBEntryState = PBEntryState.QUEUED
+    issued_early: bool = False
+
+
+class PersistBuffer:
+    """Per-core FIFO of writes awaiting persistence."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: int,
+        issue_cycles: int,
+        stats: StatsRegistry,
+        scope: str,
+        core: int,
+        inflight_max: int = 8,
+    ) -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self.issue_cycles = max(1, issue_cycles)
+        self.inflight_max = inflight_max
+        self.stats = stats
+        self.scope = scope
+        self.core = core
+        self.entries: List[PBEntry] = []
+        self.space_waiter = Waiter(engine)
+        self.drain_waiter = Waiter(engine)
+        self._seq = 0
+        self._port_busy = False
+        self._inflight = 0
+        self._blocked_since: Optional[int] = None
+        self._occupancy = stats.weighted("pb_occupancy", capacity, scope=scope)
+        #: conservative-fallback horizon: while set, the owning model's
+        #: policy only issues safe flushes; cleared when the epoch commits.
+        self.conservative_until_ts: Optional[int] = None
+
+        # Wired by the hardware model / machine assembler:
+        #: pick the next flushable entry, or None (the policy).
+        self.select_entry: Callable[["PersistBuffer"], Optional[PBEntry]] = (
+            lambda pb: None
+        )
+        #: True if a flush of this epoch must carry the early bit.
+        self.classify_early: Callable[[int], bool] = lambda ts: False
+        #: hand a packet to the interconnect (machine supplies transport).
+        self.send_flush: Callable[[PBEntry], None] = lambda entry: None
+        #: epoch-table accounting callbacks.
+        self.on_issue: Callable[[PBEntry], None] = lambda entry: None
+        self.on_acked: Callable[[PBEntry], None] = lambda entry: None
+        self.on_nacked: Callable[[PBEntry], None] = lambda entry: None
+        #: WBB release hook: the oldest un-flushed sequence number rose.
+        self.on_head_advance: Callable[[int], None] = lambda seq: None
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def contains_line(self, line: int) -> bool:
+        return any(e.line == line for e in self.entries)
+
+    def occupancy_stat(self):
+        return self._occupancy
+
+    # ------------------------------------------------------------------
+    # enqueue (store path)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, line: int, write_id: int, epoch_ts: int) -> EnqueueResult:
+        """Buffer a write.  Returns FULL when the core must stall.
+
+        Coalesces with an existing un-issued entry for the same line in
+        the same epoch -- the flush will simply carry the newest value
+        and produce a single ACK (the caller's epoch accounting must not
+        count a coalesced store as an extra outstanding write).
+        """
+        for entry in self.entries:
+            if (
+                entry.line == line
+                and entry.epoch_ts == epoch_ts
+                and entry.state is not PBEntryState.INFLIGHT
+            ):
+                entry.write_id = write_id
+                self.stats.inc("pb_coalesced", scope=self.scope)
+                return EnqueueResult.COALESCED
+        if self.full:
+            return EnqueueResult.FULL
+        entry = PBEntry(
+            seq=self._seq, line=line, write_id=write_id, epoch_ts=epoch_ts
+        )
+        self._seq += 1
+        self.entries.append(entry)
+        self.stats.inc("entriesInserted", scope=self.scope)
+        self._occupancy.update(self.engine.now, len(self.entries))
+        self._reassess()
+        return EnqueueResult.ADDED
+
+    # ------------------------------------------------------------------
+    # flush issue
+    # ------------------------------------------------------------------
+
+    def reassess(self) -> None:
+        """Something changed (epoch became safe, mode switched, ...);
+        re-evaluate blocking and try to issue."""
+        self._reassess()
+
+    def _reassess(self) -> None:
+        self._update_blocked()
+        self._try_issue()
+
+    def _try_issue(self) -> None:
+        if self._port_busy or self._inflight >= self.inflight_max:
+            return
+        entry = self.select_entry(self)
+        if entry is None:
+            return
+        self._port_busy = True
+        self._inflight += 1
+        entry.state = PBEntryState.INFLIGHT
+        entry.issued_early = self.classify_early(entry.epoch_ts)
+        if entry.issued_early:
+            self.stats.inc("totSpecWrites", scope=self.scope)
+        self.on_issue(entry)
+        self._update_blocked()
+        self.engine.schedule(self.issue_cycles, self._port_free)
+        self.send_flush(entry)
+
+    def _port_free(self) -> None:
+        self._port_busy = False
+        self._reassess()
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+
+    def handle_ack(self, entry: PBEntry) -> None:
+        """The controller accepted the flush; the write is durable."""
+        self._inflight -= 1
+        self.entries.remove(entry)
+        self._occupancy.update(self.engine.now, len(self.entries))
+        self.on_acked(entry)
+        self.on_head_advance(self._oldest_seq())
+        self.space_waiter.wake()
+        if not self.entries:
+            self.drain_waiter.wake()
+        self._reassess()
+
+    def handle_nack(self, entry: PBEntry) -> None:
+        """Recovery table full: hold the entry for a safe retry."""
+        self._inflight -= 1
+        entry.state = PBEntryState.NACK_WAIT
+        self.stats.inc("pb_nacks", scope=self.scope)
+        self.on_nacked(entry)
+        self._reassess()
+
+    def _oldest_seq(self) -> int:
+        if not self.entries:
+            return self._seq
+        return min(e.seq for e in self.entries)
+
+    # ------------------------------------------------------------------
+    # Figure 3: blocked-cycle accounting
+    # ------------------------------------------------------------------
+
+    def _update_blocked(self) -> None:
+        """Blocked = waiting entries exist but the policy can't issue any.
+
+        Cycles spent actively flushing (port busy with a selected entry)
+        are not blocked; cycles where ordering rules leave waiting entries
+        stranded are.
+        """
+        waiting = any(e.state is not PBEntryState.INFLIGHT for e in self.entries)
+        blocked = waiting and self.select_entry(self) is None
+        now = self.engine.now
+        if blocked and self._blocked_since is None:
+            self._blocked_since = now
+        elif not blocked and self._blocked_since is not None:
+            self.stats.inc(
+                "cyclesBlocked", now - self._blocked_since, scope=self.scope
+            )
+            self._blocked_since = None
+
+    def finish(self, now: int) -> None:
+        """Close out accounting at the end of a run."""
+        if self._blocked_since is not None:
+            self.stats.inc(
+                "cyclesBlocked", now - self._blocked_since, scope=self.scope
+            )
+            self._blocked_since = None
+        self._occupancy.finish(now)
+
+
+def select_fifo_any(pb: PersistBuffer) -> Optional[PBEntry]:
+    """Baseline policy: the oldest queued entry, unconditionally."""
+    for entry in pb.entries:
+        if entry.state is PBEntryState.QUEUED:
+            return entry
+    return None
+
+
+def make_conservative_policy(
+    is_safe: Callable[[int], bool],
+) -> Callable[[PersistBuffer], Optional[PBEntry]]:
+    """HOPS policy (and ASAP's NACK fallback): oldest waiting entry whose
+    epoch is safe.  Nothing flushes from unsafe epochs."""
+
+    def select(pb: PersistBuffer) -> Optional[PBEntry]:
+        for entry in pb.entries:
+            if entry.state is PBEntryState.INFLIGHT:
+                continue
+            if is_safe(entry.epoch_ts):
+                return entry
+        return None
+
+    return select
+
+
+def make_eager_policy(
+    is_safe: Callable[[int], bool],
+) -> Callable[[PersistBuffer], Optional[PBEntry]]:
+    """ASAP policy: flush as soon as possible.
+
+    Queued entries issue immediately (early bit set when the epoch is not
+    yet safe).  NACKed entries retry only once safe.  While the buffer is
+    in conservative fallback (``conservative_until_ts`` set), only safe
+    entries issue -- these never allocate recovery-table space, so they
+    can never be NACKed (Section V-D's forward-progress argument).
+    """
+
+    def select(pb: PersistBuffer) -> Optional[PBEntry]:
+        conservative = pb.conservative_until_ts is not None
+        #: (line, epoch) pairs with an earlier waiting entry: a later
+        #: same-epoch write to the same line must not bypass it -- the
+        #: controller cannot tell intra-epoch ages apart, so the buffer
+        #: preserves same-address order within an epoch (the NACK retry
+        #: path is where bypassing would otherwise happen).
+        held: set = set()
+        for entry in pb.entries:
+            if entry.state is PBEntryState.INFLIGHT:
+                continue
+            key = (entry.line, entry.epoch_ts)
+            if key in held:
+                continue
+            if entry.state is PBEntryState.NACK_WAIT or conservative:
+                if is_safe(entry.epoch_ts):
+                    return entry
+                held.add(key)
+                continue
+            return entry
+        return None
+
+    return select
+
+
+__all__ = [
+    "EnqueueResult",
+    "PBEntry",
+    "PBEntryState",
+    "PersistBuffer",
+    "make_conservative_policy",
+    "make_eager_policy",
+    "select_fifo_any",
+]

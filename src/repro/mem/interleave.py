@@ -1,0 +1,53 @@
+"""Physical-address interleaving across memory controllers.
+
+Server platforms interleave the physical address space across memory
+controllers to spread bandwidth; the paper's Section III notes this makes
+data structures span controllers, which is exactly what makes multi-MC
+ordering expensive.  The paper's bandwidth microbenchmark uses 256-byte
+writes alternating across two MCs, so the default granule is 256 bytes.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import CACHE_LINE_BYTES
+
+
+class AddressMap:
+    """Maps byte addresses to cache lines and cache lines to controllers."""
+
+    def __init__(
+        self,
+        num_mcs: int,
+        interleave_bytes: int = 256,
+        line_bytes: int = CACHE_LINE_BYTES,
+    ) -> None:
+        if num_mcs < 1:
+            raise ValueError("need at least one memory controller")
+        if interleave_bytes % line_bytes != 0:
+            raise ValueError("interleave granule must be a multiple of a line")
+        self.num_mcs = num_mcs
+        self.interleave_bytes = interleave_bytes
+        self.line_bytes = line_bytes
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line address (aligned) containing byte ``addr``."""
+        return addr - (addr % self.line_bytes)
+
+    def lines_of(self, addr: int, size: int) -> list[int]:
+        """All cache-line addresses touched by ``[addr, addr + size)``."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        first = self.line_of(addr)
+        last = self.line_of(addr + size - 1)
+        return list(range(first, last + 1, self.line_bytes))
+
+    def mc_of(self, addr: int) -> int:
+        """Index of the memory controller owning byte ``addr``."""
+        return (addr // self.interleave_bytes) % self.num_mcs
+
+    def mc_of_line(self, line: int) -> int:
+        """Index of the memory controller owning cache line ``line``."""
+        return self.mc_of(line)
+
+
+__all__ = ["AddressMap"]

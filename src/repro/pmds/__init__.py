@@ -1,0 +1,27 @@
+"""Recoverable persistent data structures built on the ordering API.
+
+The Table III workloads reproduce the *shape* of published structures for
+the performance study; this package goes the other way: small, complete,
+recoverable structures whose **recovery procedures actually run** against
+crash images, demonstrating what ASAP's ordering primitives buy a library
+author.
+
+- :mod:`repro.pmds.plog`     -- an append-only log.  Appends are ordered
+  (ofence per entry), so a crash can only lose a *suffix*; recovery scans
+  to the first hole.
+- :mod:`repro.pmds.pkvstore` -- a hash KV store with out-of-place
+  entries.  An entry is written and ordered *before* the bucket head
+  names it, so a recovered pointer can never dangle -- on hardware that
+  preserves persist ordering.  (The no-undo ablation produces dangling
+  pointers, and the recovery procedures here detect them.)
+"""
+
+from repro.pmds.plog import LogRecovery, PersistentLog
+from repro.pmds.pkvstore import KVRecovery, PersistentKVStore
+
+__all__ = [
+    "KVRecovery",
+    "LogRecovery",
+    "PersistentKVStore",
+    "PersistentLog",
+]

@@ -1,0 +1,191 @@
+"""Event-driven simulation engine.
+
+The engine keeps a priority queue of :class:`Event` objects ordered by
+simulated time (measured in CPU cycles) and executes them in order.  All
+hardware components in the reproduction (cores, persist buffers, memory
+controllers, ...) interact exclusively by scheduling callbacks on a shared
+engine instance, which makes the simulation deterministic: two events at the
+same cycle fire in the order they were scheduled.
+
+The clock is an integer number of CPU cycles.  The reproduction models a
+2 GHz part (Table II of the paper), so one nanosecond equals two cycles; the
+:func:`ns_to_cycles` helper performs that conversion for configuration values
+expressed in nanoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Simulated core frequency (Table II: 2 GHz).
+CPU_FREQ_GHZ = 2.0
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert a duration in nanoseconds to an integer number of CPU cycles.
+
+    The result is rounded to the nearest cycle and is always at least one
+    cycle for any strictly positive duration, so that scheduling a
+    "1 ns later" event can never fire at the current cycle.
+    """
+    if ns <= 0:
+        return 0
+    return max(1, round(ns * CPU_FREQ_GHZ))
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so that events scheduled for the same cycle run in FIFO
+    order.  Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """The discrete-event simulation core.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(10, lambda: print("fires at cycle 10"))
+        engine.run()
+
+    Components hold a reference to the engine and call :meth:`schedule` /
+    :meth:`at` to model latencies.  The engine itself has no knowledge of
+    the hardware being simulated.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._stopped: bool = False
+        self._stop_reason: Optional[str] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in CPU cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events that have fired so far (for diagnostics)."""
+        return self._events_executed
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Why :meth:`run` returned, if :meth:`stop` was called."""
+        return self._stop_reason
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        A non-positive delay schedules the callback for the current cycle;
+        it will still run strictly after the currently executing event.
+        Returns the :class:`Event`, which callers may :meth:`Event.cancel`.
+        """
+        return self.at(self._now + max(0, int(delay)), callback)
+
+    def at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at the absolute cycle ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event in the past: {time} < {self._now}"
+            )
+        event = Event(time=int(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self, reason: str = "stopped") -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+        self._stop_reason = reason
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or stop.
+
+        ``until`` is an inclusive cycle bound: events scheduled after it are
+        left in the queue and the clock is advanced to ``until`` (this models
+        "a crash happened at cycle X" cleanly).  ``max_events`` guards
+        against runaway simulations.  Returns the final simulated time.
+        """
+        self._stopped = False
+        self._stop_reason = None
+        while self._queue:
+            if self._stopped:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.callback()
+            if max_events is not None and self._events_executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(possible livelock at cycle {self._now})"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def pending(self) -> int:
+        """Number of (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class Waiter:
+    """A one-shot wakeup list used to model hardware back-pressure.
+
+    Components that can make a requester stall (a full persist buffer, a
+    full epoch table, ...) keep a ``Waiter``; the stalled party registers a
+    callback and the component wakes everyone when the resource frees up.
+    Wakeups are delivered through the engine at the current cycle so the
+    caller's stack never re-enters component code directly.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._waiters: list[Callable[[], None]] = []
+
+    def wait(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to be run on the next :meth:`wake`."""
+        self._waiters.append(callback)
+
+    def wake(self) -> None:
+        """Wake all currently registered waiters (in FIFO order)."""
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self._engine.schedule(0, callback)
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+
+def make_engine() -> Engine:
+    """Convenience factory (kept for API symmetry with other substrates)."""
+    return Engine()
+
+
+__all__ = ["CPU_FREQ_GHZ", "Engine", "Event", "Waiter", "make_engine", "ns_to_cycles"]

@@ -1,0 +1,27 @@
+"""Trace infrastructure: record, save, load and replay op streams.
+
+The workloads in :mod:`repro.workloads` are *execution-driven*: their
+Python-level data structures evolve with simulated time, so two runs
+under different hardware models can interleave differently.  For strictly
+apples-to-apples comparisons (and for shipping reproducible inputs), a
+run can be captured as a *trace* -- the exact per-thread op streams -- and
+replayed against any model.
+
+- :mod:`repro.trace.ops`      -- serializable op encoding (JSON lines).
+- :mod:`repro.trace.recorder` -- record programs as they run; replay.
+- :mod:`repro.trace.generator`-- parameterized synthetic trace generators
+  for controlled experiments (epoch size, fence rate, sharing, compute).
+"""
+
+from repro.trace.ops import decode_op, encode_op
+from repro.trace.recorder import Trace, record_programs
+from repro.trace.generator import SyntheticTraceConfig, synthetic_trace
+
+__all__ = [
+    "SyntheticTraceConfig",
+    "Trace",
+    "decode_op",
+    "encode_op",
+    "record_programs",
+    "synthetic_trace",
+]

@@ -1,0 +1,90 @@
+"""Parameterized synthetic trace generation.
+
+For controlled experiments the evaluation workloads are too opinionated:
+sometimes you want to dial exactly one property -- epoch size, fence
+frequency, sharing rate, compute per store -- and sweep it.  The
+generator produces traces from a small parameter set, which is also how
+the calibration experiments in EXPERIMENTS.md were sanity-checked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    Op,
+    PMAllocator,
+    Release,
+    Store,
+)
+from repro.trace.recorder import Trace
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs for the synthetic trace generator."""
+
+    num_threads: int = 4
+    ops_per_thread: int = 100
+    #: stores per epoch (an ofence closes each epoch).
+    epoch_size: int = 2
+    #: store size in bytes.
+    store_bytes: int = 64
+    #: compute cycles between stores.
+    compute_cycles: int = 60
+    #: probability an epoch's stores touch the shared (lock-protected)
+    #: region instead of thread-private memory.
+    sharing: float = 0.2
+    #: a dfence every this many epochs (0 = only at the end).
+    dfence_every: int = 0
+    #: private working-set lines per thread.
+    private_lines: int = 32
+    #: shared working-set lines.
+    shared_lines: int = 8
+    seed: int = 1
+
+
+def synthetic_trace(
+    config: SyntheticTraceConfig, heap: PMAllocator = None
+) -> Trace:
+    """Generate a trace according to ``config``."""
+    heap = heap or PMAllocator()
+    lock = heap.alloc_lock()
+    shared = heap.alloc_lines(config.shared_lines)
+    threads: List[List[Op]] = []
+    for thread in range(config.num_threads):
+        rng = random.Random(config.seed * 1009 + thread)
+        private = heap.alloc_lines(config.private_lines)
+        ops: List[Op] = []
+        epochs = max(1, config.ops_per_thread // config.epoch_size)
+        for epoch in range(epochs):
+            use_shared = rng.random() < config.sharing
+            if use_shared:
+                ops.append(Acquire(lock))
+            for _ in range(config.epoch_size):
+                if config.compute_cycles:
+                    ops.append(Compute(config.compute_cycles))
+                if use_shared:
+                    line = shared + rng.randrange(config.shared_lines) * 64
+                    ops.append(Load(line, 8))
+                else:
+                    line = private + rng.randrange(config.private_lines) * 64
+                ops.append(Store(line, config.store_bytes))
+            ops.append(OFence())
+            if use_shared:
+                ops.append(Release(lock))
+            if config.dfence_every and (epoch + 1) % config.dfence_every == 0:
+                ops.append(DFence())
+        ops.append(DFence())
+        threads.append(ops)
+    return Trace(threads=threads)
+
+
+__all__ = ["SyntheticTraceConfig", "synthetic_trace"]

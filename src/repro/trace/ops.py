@@ -1,0 +1,81 @@
+"""Serializable encoding of PMem ops.
+
+Ops encode to short JSON-friendly lists (mnemonic first), one op per
+line in a trace file.  Payloads are preserved when they are JSON
+representable and dropped otherwise (payloads never affect timing; they
+only exist so crash demos can show recovered values).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    NewStrand,
+    OFence,
+    Op,
+    Release,
+    Store,
+)
+
+_JSON_SAFE = (str, int, float, bool, type(None))
+
+
+def encode_op(op: Op) -> List[Any]:
+    """Encode one op as a compact list."""
+    if isinstance(op, Store):
+        payload = op.payload if isinstance(op.payload, _JSON_SAFE) else None
+        return ["S", op.addr, op.size, payload]
+    if isinstance(op, Load):
+        return ["L", op.addr, op.size]
+    if isinstance(op, OFence):
+        return ["OF"]
+    if isinstance(op, DFence):
+        return ["DF"]
+    if isinstance(op, Acquire):
+        return ["AQ", op.lock]
+    if isinstance(op, Release):
+        return ["RL", op.lock]
+    if isinstance(op, Compute):
+        return ["C", op.cycles]
+    if isinstance(op, NewStrand):
+        return ["NS"]
+    raise TypeError(f"cannot encode op {op!r}")
+
+
+def decode_op(encoded: List[Any]) -> Op:
+    """Decode one op from its list form."""
+    tag = encoded[0]
+    if tag == "S":
+        return Store(encoded[1], encoded[2], encoded[3])
+    if tag == "L":
+        return Load(encoded[1], encoded[2])
+    if tag == "OF":
+        return OFence()
+    if tag == "DF":
+        return DFence()
+    if tag == "AQ":
+        return Acquire(encoded[1])
+    if tag == "RL":
+        return Release(encoded[1])
+    if tag == "C":
+        return Compute(encoded[1])
+    if tag == "NS":
+        return NewStrand()
+    raise ValueError(f"unknown op tag {tag!r}")
+
+
+def dumps_op(op: Op) -> str:
+    return json.dumps(encode_op(op), separators=(",", ":"))
+
+
+def loads_op(line: str) -> Op:
+    return decode_op(json.loads(line))
+
+
+__all__ = ["decode_op", "dumps_op", "encode_op", "loads_op"]

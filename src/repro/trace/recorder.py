@@ -1,0 +1,90 @@
+"""Record op streams and replay them.
+
+:func:`record_programs` wraps a workload's thread programs so that every
+op is captured as it is executed; after the run the :class:`Trace` holds
+the exact per-thread streams, which can be saved to a JSON-lines file and
+replayed against any hardware model.
+
+Replayed runs are *trace-driven*: the op sequence is fixed, so any
+difference between two models' results is purely the hardware's doing.
+(Lock ops still enforce mutual exclusion during replay -- timing changes,
+interleaving of the fixed streams follows it.)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Union
+
+from repro.core.api import Op, Program
+from repro.trace.ops import decode_op, encode_op
+
+
+@dataclass
+class Trace:
+    """Per-thread op streams."""
+
+    threads: List[List[Op]] = field(default_factory=list)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def num_ops(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    def programs(self) -> List[Program]:
+        """Fresh generators replaying the recorded streams."""
+        return [iter(list(ops)) for ops in self.threads]
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Write as JSON lines: a header, then ``[thread, op...]`` rows."""
+        path = pathlib.Path(path)
+        with path.open("w") as handle:
+            header = {"version": 1, "threads": self.num_threads}
+            handle.write(json.dumps(header) + "\n")
+            for thread, ops in enumerate(self.threads):
+                for op in ops:
+                    row = [thread] + encode_op(op)
+                    handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Trace":
+        path = pathlib.Path(path)
+        with path.open() as handle:
+            header = json.loads(handle.readline())
+            if header.get("version") != 1:
+                raise ValueError(f"unsupported trace version: {header}")
+            threads: List[List[Op]] = [[] for _ in range(header["threads"])]
+            for line in handle:
+                row = json.loads(line)
+                threads[row[0]].append(decode_op(row[1:]))
+        return cls(threads=threads)
+
+
+def record_programs(programs: Iterable[Program]) -> tuple:
+    """Wrap programs for recording.
+
+    Returns ``(wrapped_programs, trace)``; run the wrapped programs on a
+    machine and the trace fills in as they execute.
+    """
+    trace = Trace()
+    wrapped = []
+    for program in programs:
+        ops: List[Op] = []
+        trace.threads.append(ops)
+
+        def tee(program=program, ops=ops) -> Iterator[Op]:
+            for op in program:
+                ops.append(op)
+                yield op
+
+        wrapped.append(tee())
+    return wrapped, trace
+
+
+__all__ = ["Trace", "record_programs"]

@@ -1,0 +1,46 @@
+"""Software atomicity on top of ASAP's ordering primitives.
+
+The paper is explicit that ASAP provides *ordering*, not atomicity, and
+that "if applications do require atomicity, ASAP can be coupled with any
+techniques such as shadow paging or software transactions" (Section I).
+This package is that coupling: a software undo-log transaction layer
+written against the simulator's PMem API, plus the recovery procedure
+that replays a crash image back to an atomic state.
+
+Two durability modes demonstrate what hardware ordering buys:
+
+- ``DFENCE`` -- the classic PMDK discipline: the commit record is made
+  durable (dfence) before the transaction's effects can be observed by
+  the next lock holder.  Correct on every hardware model.
+- ``ORDERED`` -- the commit record is merely *ordered* (ofence) and the
+  lock is released immediately; cross-thread persist ordering
+  (acquire/release dependences) guarantees that if a later transaction's
+  commit record survived a crash, so did every one it depended on.
+  Faster -- it removes one dfence per transaction -- but only correct on
+  ordering-preserving hardware: the ``ASAP_NO_UNDO`` ablation breaks it,
+  and the atomicity checker catches that.
+"""
+
+from repro.tx.undolog import (
+    DurabilityMode,
+    PVar,
+    TransactionManager,
+    TxRecord,
+)
+from repro.tx.recovery import (
+    AtomicityReport,
+    TxRecovery,
+    check_atomicity,
+    recover,
+)
+
+__all__ = [
+    "AtomicityReport",
+    "DurabilityMode",
+    "PVar",
+    "TransactionManager",
+    "TxRecord",
+    "TxRecovery",
+    "check_atomicity",
+    "recover",
+]

@@ -1,0 +1,125 @@
+"""Reference transactional scenarios for the tx layer.
+
+Used by the tests, the benchmarks, and the examples:
+
+- :func:`bank_workload` -- the classic atomicity scenario: threads move
+  money between accounts under a global lock; every crash must recover
+  to a state where no transfer is half-applied.
+- :func:`adversarial_workload` -- a placement-controlled scenario that
+  maximizes the window in which a later transaction's commit record can
+  race ahead of an earlier one's: thread 0's transaction (and commit
+  cell) live on a jammed controller while thread 1 commits to the idle
+  one.  Ordering-preserving hardware closes the window; the
+  ``ASAP_NO_UNDO`` ablation does not.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.tx.undolog import DurabilityMode, PVar, TransactionManager
+
+
+def bank_workload(
+    heap: PMAllocator,
+    mode: DurabilityMode,
+    num_threads: int = 2,
+    txs_per_thread: int = 12,
+    accounts: int = 6,
+    seed: int = 1,
+) -> Tuple[List[Program], List[TransactionManager], List[PVar]]:
+    """Random transfers between accounts under one global lock."""
+    lock = heap.alloc_lock()
+    shared: Dict[str, object] = {}
+    pvars = [PVar(f"acct{i}", heap.alloc_lines(1)) for i in range(accounts)]
+    managers = [
+        TransactionManager(heap, t, shared, mode=mode)
+        for t in range(num_threads)
+    ]
+    programs = []
+    for thread in range(num_threads):
+        rng = random.Random(seed * 97 + thread)
+
+        def program(thread=thread, rng=rng):
+            manager = managers[thread]
+            for _ in range(txs_per_thread):
+                yield Compute(rng.randrange(50, 200))
+                yield Acquire(lock)
+                src, dst = rng.sample(range(len(pvars)), 2)
+                amount = rng.randrange(1, 10)
+                balance_src = shared.get(pvars[src].name, 100)
+                balance_dst = shared.get(pvars[dst].name, 100)
+                yield Load(pvars[src].addr, 8)
+                yield Load(pvars[dst].addr, 8)
+                yield from manager.transaction([
+                    (pvars[src], balance_src - amount),
+                    (pvars[dst], balance_dst + amount),
+                ])
+                yield Release(lock)
+
+        programs.append(program())
+    return programs, managers, pvars
+
+
+def _mc_lines(base: int, mc: int, count: int, num_mcs: int = 2) -> List[int]:
+    out, addr = [], base
+    while len(out) < count:
+        if (addr // 256) % num_mcs == mc:
+            out.append(addr)
+        addr += 64
+    return out
+
+
+def adversarial_workload(
+    heap: PMAllocator, mode: DurabilityMode
+) -> Tuple[List[Program], List[TransactionManager], List[PVar]]:
+    """Jammed-controller scenario with overlapping transactions."""
+    lock = heap.alloc_lock()
+    shared: Dict[str, object] = {}
+    chunk = heap.alloc(96 * 1024, align=256)
+    mc0 = _mc_lines(chunk, 0, 80)
+    mc1 = _mc_lines(chunk + 64 * 1024, 1, 16)
+    var_x = PVar("x", mc0[0])
+    var_y = PVar("y", mc1[0])
+    manager0 = TransactionManager(
+        heap, 0, shared, mode=mode, log_lines=8,
+        log_base=mc0[2], commit_cell=mc0[1],
+    )
+    manager1 = TransactionManager(
+        heap, 1, shared, mode=mode, log_lines=8,
+        log_base=mc1[2], commit_cell=mc1[1],
+    )
+    jam = mc0[20:60]
+
+    def thread0():
+        yield Acquire(lock)
+        for addr in jam:  # jam MC0 inside the critical section
+            yield Store(addr, 64)
+        yield from manager0.transaction([(var_x, 111)])
+        yield Release(lock)
+        yield Compute(3000)
+        yield DFence()
+
+    def thread1():
+        yield Compute(40)
+        yield Acquire(lock)
+        yield Load(var_x.addr, 8)
+        yield from manager1.transaction([(var_x, 222), (var_y, 333)])
+        yield Release(lock)
+        yield DFence()
+
+    return [thread0(), thread1()], [manager0, manager1], [var_x, var_y]
+
+
+__all__ = ["adversarial_workload", "bank_workload"]

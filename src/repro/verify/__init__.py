@@ -1,0 +1,24 @@
+"""Formal-methods-adjacent checkers for the paper's Section VI claims.
+
+- :mod:`repro.verify.dag` -- the epoch dependency graph is a DAG
+  (Lemma 0.1) and always has a safe epoch (Theorem 1's forward-progress
+  argument).
+- :mod:`repro.verify.consistency` -- recovered memory is consistent
+  (Theorem 2): no epoch whose writes were lost is a strict ancestor of an
+  epoch whose write survived.
+"""
+
+from repro.verify.dag import EpochDag, build_dag
+from repro.verify.consistency import (
+    ConsistencyReport,
+    Violation,
+    check_consistency,
+)
+
+__all__ = [
+    "ConsistencyReport",
+    "EpochDag",
+    "Violation",
+    "build_dag",
+    "check_consistency",
+]

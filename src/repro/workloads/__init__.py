@@ -1,0 +1,34 @@
+"""The evaluation workloads (Table III), re-implemented in shape.
+
+Every workload is a real data structure or application kernel written
+against the simulator's PMem API (:mod:`repro.core.api`): the Python-level
+structure state evolves in simulated-time order, and the fence/epoch
+placement mirrors the original implementations.
+
+Three classes of applications, as in the paper:
+
+1. WHISPER benchmarks -- native (Nstore, Echo) and PMDK-style transactional
+   (Vacation, Memcached) -- :mod:`repro.workloads.whisper`.
+2. Hand-written data structures under the ATLAS lock-based
+   failure-atomicity model (heap, queue, skip list) --
+   :mod:`repro.workloads.atlas`.
+3. New concurrent persistent data structures: CCEH, FAST&FAIR, Dash-LH/EH,
+   and the RECIPE conversions (P-ART, P-CLHT, P-Masstree) --
+   :mod:`repro.workloads.cceh` / ``fastfair`` / ``dash`` / ``recipe``.
+
+:mod:`repro.workloads.registry` exposes the canonical suite used by every
+figure, and :mod:`repro.workloads.microbench` holds the Figure 13
+bandwidth microbenchmark.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult, run_workload
+from repro.workloads.registry import SUITE, get_workload, workload_names
+
+__all__ = [
+    "SUITE",
+    "Workload",
+    "WorkloadResult",
+    "get_workload",
+    "run_workload",
+    "workload_names",
+]

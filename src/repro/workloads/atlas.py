@@ -1,0 +1,231 @@
+"""ATLAS-framework data structures: heap, queue, skip list.
+
+ATLAS (Chakrabarti et al., OOPSLA '14) derives failure atomicity from
+lock scopes: every store inside a critical section is preceded by an
+undo-log append.  These three hand-written structures follow that model
+through :class:`repro.workloads.base.AtlasSection`:
+
+- ``heap``     -- a binary min-heap; insert/delete sift paths touch
+  O(log n) shared elements under one lock.
+- ``queue``    -- a two-lock FIFO queue; tiny critical sections on hot
+  head/tail lines make cross-thread dependencies *frequent* (Figure 2
+  shows queue among the dependency-heavy workloads and HOPS_EP dropping
+  below baseline on it).
+- ``skiplist`` -- probabilistic multi-level list; long traversals (many
+  loads) between updates.  The paper's scaling study (Figure 10) shows
+  Skiplist as the workload that scales *worst*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.workloads.base import LINE, AtlasSection, Workload
+
+
+class AtlasHeap(Workload):
+    """Binary min-heap under a single ATLAS lock."""
+
+    name = "heap"
+    category = "atlas"
+    default_ops = 90
+
+    CAPACITY = 256
+
+    def programs(self, heap_alloc: PMAllocator, num_threads: int) -> List[Program]:
+        lock = heap_alloc.alloc_lock()
+        storage = heap_alloc.alloc_lines(self.CAPACITY)
+        size_cell = heap_alloc.alloc_lines(1)
+        logs = [heap_alloc.alloc_lines(32) for _ in range(num_threads)]
+        # shared python-level model of the heap (element keys)
+        model: List[int] = []
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            section = AtlasSection(lock=lock, log_base=logs[thread])
+
+            def program(rng=rng, section=section):
+                for op in range(self.ops_per_thread):
+                    yield Compute(80)
+                    insert = len(model) < 8 or rng.random() < 0.55
+                    yield from section.begin()
+                    if insert:
+                        key = rng.randrange(10_000)
+                        model.append(key)
+                        index = len(model) - 1
+                        yield from section.store(storage + index * LINE, 16)
+                        # sift up
+                        while index > 0:
+                            parent = (index - 1) // 2
+                            yield Load(storage + parent * LINE, 8)
+                            if model[parent] <= model[index]:
+                                break
+                            model[parent], model[index] = (
+                                model[index], model[parent],
+                            )
+                            yield from section.store(storage + parent * LINE, 16)
+                            yield from section.store(storage + index * LINE, 16)
+                            index = parent
+                    else:
+                        # delete-min: move last to root, sift down
+                        model[0] = model[-1]
+                        model.pop()
+                        yield from section.store(storage, 16)
+                        index = 0
+                        while True:
+                            left, right = 2 * index + 1, 2 * index + 2
+                            smallest = index
+                            for child in (left, right):
+                                if child < len(model):
+                                    yield Load(storage + child * LINE, 8)
+                                    if model[child] < model[smallest]:
+                                        smallest = child
+                            if smallest == index:
+                                break
+                            model[smallest], model[index] = (
+                                model[index], model[smallest],
+                            )
+                            yield from section.store(storage + smallest * LINE, 16)
+                            index = smallest
+                    yield from section.store(size_cell, 8)
+                    yield from section.end()
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class AtlasQueue(Workload):
+    """Two-lock FIFO queue; hot head/tail lines, tiny epochs."""
+
+    name = "queue"
+    category = "atlas"
+    default_ops = 110
+
+    NODES = 512
+    #: per-op think time; queue operations are nearly pure pointer work.
+    THINK_CYCLES = 20
+
+    def programs(self, heap_alloc: PMAllocator, num_threads: int) -> List[Program]:
+        head_lock = heap_alloc.alloc_lock()
+        tail_lock = heap_alloc.alloc_lock()
+        nodes = heap_alloc.alloc_lines(self.NODES)
+        head_cell = heap_alloc.alloc_lines(1)
+        tail_cell = heap_alloc.alloc_lines(1)
+        logs = [heap_alloc.alloc_lines(16) for _ in range(num_threads)]
+        state = {"head": 0, "tail": 0}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            enq_section = AtlasSection(lock=tail_lock, log_base=logs[thread])
+            deq_section = AtlasSection(
+                lock=head_lock, log_base=logs[thread] + 8 * LINE
+            )
+
+            def program(rng=rng, enq=enq_section, deq=deq_section):
+                for op in range(self.ops_per_thread):
+                    yield Compute(self.THINK_CYCLES)
+                    if state["tail"] - state["head"] < 2 or rng.random() < 0.5:
+                        # enqueue: write node payload, link it, bump tail
+                        slot = state["tail"] % self.NODES
+                        yield from enq.begin()
+                        yield from enq.store(nodes + slot * LINE, 32)
+                        yield Load(tail_cell, 8)
+                        yield from enq.store(tail_cell, 8)
+                        state["tail"] += 1
+                        yield from enq.end()
+                    else:
+                        yield from deq.begin()
+                        yield Load(head_cell, 8)
+                        slot = state["head"] % self.NODES
+                        yield Load(nodes + slot * LINE, 8)
+                        yield from deq.store(head_cell, 8)
+                        state["head"] += 1
+                        yield from deq.end()
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class AtlasSkiplist(Workload):
+    """Probabilistic skip list under a single ATLAS lock.
+
+    Long traversals (loads across many nodes) between updates make this
+    read-heavy relative to its persist traffic -- and serialization on
+    one lock keeps it from scaling (the paper's worst scaler)."""
+
+    name = "skiplist"
+    category = "atlas"
+    default_ops = 70
+
+    MAX_LEVEL = 4
+    CAPACITY = 512
+
+    def programs(self, heap_alloc: PMAllocator, num_threads: int) -> List[Program]:
+        lock = heap_alloc.alloc_lock()
+        nodes = heap_alloc.alloc_lines(self.CAPACITY * 2)
+        logs = [heap_alloc.alloc_lines(32) for _ in range(num_threads)]
+        # python model: sorted list of keys with a node slot per key
+        model: dict = {"keys": [], "slots": {}, "next_slot": 0}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            section = AtlasSection(lock=lock, log_base=logs[thread])
+
+            def program(rng=rng, section=section):
+                import bisect
+
+                for op in range(self.ops_per_thread):
+                    yield Compute(60)
+                    key = rng.randrange(100_000)
+                    yield from section.begin()
+                    # traverse: visit ~log2(n) nodes per level
+                    keys = model["keys"]
+                    position = bisect.bisect_left(keys, key)
+                    hops = max(1, position.bit_length() + self.MAX_LEVEL)
+                    for hop in range(hops):
+                        probe = keys[
+                            min(len(keys) - 1, (position * (hop + 1)) // (hops + 1))
+                        ] if keys else None
+                        slot = model["slots"].get(probe, 0)
+                        yield Load(nodes + (slot % self.CAPACITY) * 2 * LINE, 8)
+                    # insert node
+                    slot = model["next_slot"] % self.CAPACITY
+                    model["next_slot"] += 1
+                    bisect.insort(keys, key)
+                    model["slots"][key] = slot
+                    level = 1
+                    while level < self.MAX_LEVEL and rng.random() < 0.5:
+                        level += 1
+                    yield from section.store(
+                        nodes + slot * 2 * LINE, 32 + 8 * level
+                    )
+                    # link predecessors at each level
+                    for lvl in range(level):
+                        pred_slot = model["slots"].get(
+                            keys[max(0, bisect.bisect_left(keys, key) - 1)], 0
+                        )
+                        yield from section.store(
+                            nodes + (pred_slot % self.CAPACITY) * 2 * LINE + 8 * lvl,
+                            8,
+                        )
+                    yield from section.end()
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["AtlasHeap", "AtlasQueue", "AtlasSkiplist"]

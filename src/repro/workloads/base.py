@@ -1,0 +1,180 @@
+"""Workload abstractions and persistence idioms.
+
+A :class:`Workload` builds one thread program per simulated core.  The
+programs are plain generators of ops (see :mod:`repro.core.api`); the
+subclasses in this package implement real data-structure logic whose
+*addresses and fences* follow the original implementations.
+
+This module also provides the two persistence idioms the application
+classes are built from:
+
+- :func:`pmdk_tx` -- a PMDK-style undo-logging transaction (used by the
+  WHISPER PMDK applications, Vacation and Memcached);
+- :class:`AtlasSection` -- an ATLAS-style failure-atomic section, where
+  every store inside a lock-delimited region is preceded by an undo-log
+  append (used by the hand-written heap/queue/skip list).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    Op,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.core.machine import Machine, RunResult
+from repro.sim.config import MachineConfig, RunConfig
+
+LINE = 64
+
+
+class Workload:
+    """Base class for every benchmark in the suite."""
+
+    #: short name used in figures and the registry.
+    name: str = "workload"
+    #: Table III category ("whisper", "atlas", "concurrent-ds", "micro").
+    category: str = "misc"
+    #: default operations per thread at scale=1.0.
+    default_ops: int = 120
+
+    def __init__(self, ops_per_thread: Optional[int] = None, seed: int = 7) -> None:
+        self.ops_per_thread = ops_per_thread or self.default_ops
+        self.seed = seed
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        """Build one program per thread.  Subclasses must override."""
+        raise NotImplementedError
+
+    def _rng(self, thread: int) -> random.Random:
+        return random.Random((self.seed * 1_000_003 + thread * 97) & 0xFFFFFFFF)
+
+
+@dataclass
+class WorkloadResult:
+    """A workload run under one (hardware, persistency) configuration."""
+
+    workload: str
+    result: RunResult
+
+    @property
+    def runtime_cycles(self) -> int:
+        return self.result.runtime_cycles
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+def run_workload(
+    workload: Workload,
+    config: MachineConfig,
+    run_config: RunConfig,
+    num_threads: Optional[int] = None,
+) -> WorkloadResult:
+    """Assemble a machine and run ``workload`` on it."""
+    threads = num_threads or config.num_cores
+    heap = PMAllocator()
+    programs = workload.programs(heap, threads)
+    machine = Machine(config, run_config)
+    result = machine.run(programs)
+    return WorkloadResult(workload=workload.name, result=result)
+
+
+# ---------------------------------------------------------------------------
+# persistence idioms
+# ---------------------------------------------------------------------------
+
+def ordered_store(addr: int, size: int = 8, payload: object = None) -> Iterator[Op]:
+    """A store followed by an ordering fence (store -> ofence)."""
+    yield Store(addr, size, payload)
+    yield OFence()
+
+
+def pmdk_tx(
+    log_base: int,
+    log_slot: int,
+    updates: List[tuple],
+    log_entry_bytes: int = 64,
+    work_cycles: int = 0,
+) -> Iterator[Op]:
+    """A PMDK-style undo-logged transaction.
+
+    For each update ``(addr, size)``: append an undo record (the old value
+    plus metadata) to the transaction log, order it, then apply the data
+    write.  The transaction commits with a dfence followed by an ordered
+    invalidation of the log (PMDK's ``TX_COMMIT``: data must be durable
+    before the undo log is dropped).
+
+    ``log_slot`` selects a per-thread region in the log so concurrent
+    transactions do not share log lines.
+    """
+    log_cursor = log_base + log_slot
+    for index, (addr, size) in enumerate(updates):
+        entry = log_cursor + index * log_entry_bytes
+        # undo record: old value + address + length
+        yield Store(entry, min(log_entry_bytes, max(size + 16, 32)))
+    yield OFence()
+    if work_cycles:
+        # transaction body: the computation that produces the new values
+        yield Compute(work_cycles)
+    for addr, size in updates:
+        yield Store(addr, size)
+    yield DFence()
+    # drop the log (header write marks the tx committed)
+    yield Store(log_cursor, 8)
+    yield OFence()
+
+
+@dataclass
+class AtlasSection:
+    """An ATLAS failure-atomic section.
+
+    ATLAS ties failure atomicity to lock scopes: every store inside a
+    critical section is preceded by an undo-log append, and log entries
+    are ordered before their stores.  The log is per-thread; lock
+    acquire/release bound the section.
+    """
+
+    lock: int
+    log_base: int
+    log_entry_bytes: int = 64
+    _cursor: int = 0
+
+    def begin(self) -> Iterator[Op]:
+        yield Acquire(self.lock)
+
+    def store(self, addr: int, size: int = 8, payload: object = None) -> Iterator[Op]:
+        # ATLAS orders each undo-log append before its data store; the
+        # data store itself needs no trailing fence (log entries of later
+        # stores are independent of earlier data).
+        entry = self.log_base + (self._cursor % 32) * self.log_entry_bytes
+        self._cursor += 1
+        yield Store(entry, min(self.log_entry_bytes, max(size + 16, 32)))
+        yield OFence()
+        yield Store(addr, size, payload)
+
+    def end(self) -> Iterator[Op]:
+        yield Release(self.lock)
+
+
+__all__ = [
+    "AtlasSection",
+    "LINE",
+    "Workload",
+    "WorkloadResult",
+    "ordered_store",
+    "pmdk_tx",
+    "run_workload",
+]

@@ -1,0 +1,134 @@
+"""Dash: scalable hashing on persistent memory (Lu et al., VLDB '20).
+
+Dash comes in two flavours, both evaluated by the paper:
+
+- **Dash-EH** (extendible hashing): fingerprint-filtered buckets with
+  bucket-level locks, stash slots for overflow, and segment splits.
+- **Dash-LH** (level hashing): two levels of buckets; inserts may bounce
+  an entry from the top level to the bottom level.
+
+Both do very little work per insert -- a fingerprint probe, a 16-byte
+slot write, an ordered version bump -- so their epochs are tiny and
+bucket-lock transfers create the dense cross-thread dependency streams of
+Figure 2 (the paper's Figure 9 also notes Dash benefits from WPQ
+coalescing of concurrent flushes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.workloads.base import LINE, Workload
+
+
+class _DashBase(Workload):
+    """Shared machinery for the two Dash variants."""
+
+    category = "concurrent-ds"
+    default_ops = 120
+
+    BUCKETS = 7
+    SLOTS = 4
+
+    def _bucket_op(self, rng, bucket_addr, version_addr, occupancy, key):
+        """One insert into a bucket: probe, slot write, version bump."""
+        yield Load(bucket_addr, 16)  # fingerprint probe
+        used = occupancy.get(bucket_addr, 0)
+        slot = used % self.SLOTS
+        occupancy[bucket_addr] = used + 1
+        yield Store(bucket_addr + slot * 16, 16)
+        yield OFence()
+        yield Store(version_addr, 8)  # bucket version/metadata bump
+        yield OFence()
+
+
+class DashEH(_DashBase):
+    """Dash extendible hashing, insert-only (the paper's configuration)."""
+
+    name = "dash_eh"
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        buckets = heap.alloc_lines(self.BUCKETS)
+        stash = heap.alloc_lines(2)
+        versions = heap.alloc_lines(self.BUCKETS)
+        locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        occupancy: Dict[int, int] = {}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(45)
+                    key = rng.randrange(1_000_000)
+                    bucket = key % self.BUCKETS
+                    yield Acquire(locks[bucket])
+                    yield from self._bucket_op(
+                        rng,
+                        buckets + bucket * LINE,
+                        versions + bucket * LINE,
+                        occupancy,
+                        key,
+                    )
+                    if occupancy.get(buckets + bucket * LINE, 0) % 7 == 0:
+                        # overflow into the stash: one extra ordered write
+                        yield Store(stash + (bucket % 2) * LINE, 16)
+                        yield OFence()
+                    yield Release(locks[bucket])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class DashLH(_DashBase):
+    """Dash level hashing: top-level insert with bottom-level bounce."""
+
+    name = "dash_lh"
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        top = heap.alloc_lines(self.BUCKETS)
+        bottom = heap.alloc_lines(self.BUCKETS // 2)
+        versions = heap.alloc_lines(self.BUCKETS)
+        locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        occupancy: Dict[int, int] = {}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(45)
+                    key = rng.randrange(1_000_000)
+                    bucket = key % self.BUCKETS
+                    yield Acquire(locks[bucket])
+                    top_addr = top + bucket * LINE
+                    used = occupancy.get(top_addr, 0)
+                    if used >= self.SLOTS and used % 2 == 0:
+                        # bounce the evicted entry to the bottom level
+                        bottom_addr = bottom + (bucket // 2) * LINE
+                        yield Load(bottom_addr, 16)
+                        yield Store(bottom_addr, 16)
+                        yield OFence()
+                    yield from self._bucket_op(
+                        rng, top_addr, versions + bucket * LINE, occupancy, key
+                    )
+                    yield Release(locks[bucket])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["DashEH", "DashLH"]

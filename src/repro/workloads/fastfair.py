@@ -1,0 +1,103 @@
+"""FAST & FAIR: a crash-consistent B+-tree (Hwang et al., FAST '18).
+
+FAST (Failure-Atomic ShifT) inserts into a sorted leaf by shifting
+entries one slot at a time with *ordered 8-byte stores* -- every time the
+shift crosses a cache-line boundary, the line is flushed and ordered
+(this is the workload's signature: many tiny epochs, no logging).  FAIR
+(Failure-Atomic In-place Rebalance) splits nodes with a sibling-pointer
+publish ordered before the parent update.
+
+Writers lock individual nodes; traversals are lock-free reads.  Hot
+internal nodes make cross-thread dependencies common at higher thread
+counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.workloads.base import LINE, Workload
+
+
+class FastFair(Workload):
+    """Insert/search mix on the FAST&FAIR B+-tree (update-intensive)."""
+
+    name = "fast_fair"
+    category = "concurrent-ds"
+    default_ops = 90
+
+    LEAVES = 32
+    ENTRIES_PER_LEAF = 14  # two 512-byte-ish nodes' worth of 8B pairs
+    LEAF_LINES = 4
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        root = heap.alloc_lines(self.LEAF_LINES)
+        inner = heap.alloc_lines(self.LEAF_LINES * 4)
+        leaves = [heap.alloc_lines(self.LEAF_LINES) for _ in range(self.LEAVES)]
+        leaf_locks = [heap.alloc_lock() for _ in range(self.LEAVES)]
+        #: per-leaf sorted key model
+        model: Dict[int, List[int]] = {i: [] for i in range(self.LEAVES)}
+        programs = []
+
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(60)
+                    key = rng.randrange(1_000_000)
+                    leaf = key % self.LEAVES
+                    # lock-free traversal: root -> inner -> leaf
+                    yield Load(root, 16)
+                    yield Load(inner + (leaf // 8) * self.LEAF_LINES * LINE, 16)
+                    yield Load(leaves[leaf], 16)
+                    if rng.random() < 0.3:
+                        continue  # search op: done after the traversal
+                    yield Acquire(leaf_locks[leaf])
+                    keys = model[leaf]
+                    if len(keys) >= self.ENTRIES_PER_LEAF:
+                        # FAIR split: write right sibling, publish sibling
+                        # pointer, then update the parent -- each ordered.
+                        half = len(keys) // 2
+                        model[leaf] = keys[:half]
+                        yield Store(leaves[leaf] + 2 * LINE, 128)  # new sibling payload
+                        yield OFence()
+                        yield Store(leaves[leaf] + 3 * LINE, 8)  # sibling ptr
+                        yield OFence()
+                        yield Store(
+                            inner + (leaf // 8) * self.LEAF_LINES * LINE, 16
+                        )
+                        yield OFence()
+                        keys = model[leaf]
+                    position = bisect.bisect_left(keys, key)
+                    keys.insert(position, key)
+                    # FAST shift: move entries right one by one; an ofence
+                    # every time the shift crosses a cache line.
+                    shifted = len(keys) - position
+                    line_crossings = max(1, (shifted * 16) // LINE + 1)
+                    for crossing in range(line_crossings):
+                        offset = (position * 16 + crossing * LINE) % (
+                            self.LEAF_LINES * LINE - 16
+                        )
+                        yield Store(leaves[leaf] + offset, 16)
+                        yield OFence()
+                    yield Release(leaf_locks[leaf])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["FastFair"]

@@ -1,0 +1,110 @@
+"""Microbenchmarks: the Figure 13 bandwidth kernel and synthetic probes.
+
+The paper's system-bandwidth experiment (Section VII-C): each thread
+issues 256-byte writes that alternate across the two memory controllers,
+ordered with an ofence between writes.  Conservative designs serialize on
+the cross-MC acknowledgement (one controller idles while the other
+works); ASAP's eager flushing overlaps them and roughly doubles delivered
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.api import (
+    Compute,
+    DFence,
+    OFence,
+    PMAllocator,
+    Program,
+    Store,
+)
+from repro.sim.config import CACHE_LINE_BYTES
+from repro.workloads.base import Workload
+
+
+class BandwidthMicrobench(Workload):
+    """Ordered 256-byte writes alternating across memory controllers."""
+
+    name = "bandwidth"
+    category = "micro"
+    default_ops = 200
+
+    WRITE_BYTES = 256
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        programs = []
+        for thread in range(num_threads):
+            # A contiguous region: with 256-byte interleaving consecutive
+            # 256-byte writes naturally alternate MCs.
+            region = heap.alloc(
+                self.WRITE_BYTES * self.ops_per_thread, align=self.WRITE_BYTES
+            )
+
+            def program(region=region):
+                for op in range(self.ops_per_thread):
+                    yield Store(region + op * self.WRITE_BYTES, self.WRITE_BYTES)
+                    yield OFence()
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+    def bytes_written(self, num_threads: int) -> int:
+        return self.WRITE_BYTES * self.ops_per_thread * num_threads
+
+
+class FenceLatencyMicrobench(Workload):
+    """Single ordered line write per epoch -- isolates fence latency."""
+
+    name = "fence_latency"
+    category = "micro"
+    default_ops = 150
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        programs = []
+        for thread in range(num_threads):
+            region = heap.alloc_lines(64)
+
+            def program(region=region):
+                for op in range(self.ops_per_thread):
+                    yield Store(region + (op % 64) * CACHE_LINE_BYTES, 64)
+                    yield OFence()
+                    yield Compute(25)
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class CoalescingMicrobench(Workload):
+    """Repeated writes to a small working set -- stresses coalescing.
+
+    Many stores land on lines already queued in the persist buffer (or
+    pending in the WPQ), so the number of PM writes should be far below
+    the number of stores (Figure 9's mechanism in isolation)."""
+
+    name = "coalescing"
+    category = "micro"
+    default_ops = 200
+
+    HOT_LINES = 4
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        programs = []
+        for thread in range(num_threads):
+            region = heap.alloc_lines(self.HOT_LINES)
+
+            def program(region=region):
+                for op in range(self.ops_per_thread):
+                    yield Store(region + (op % self.HOT_LINES) * CACHE_LINE_BYTES, 8)
+                    if op % 8 == 7:
+                        yield OFence()
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["BandwidthMicrobench", "CoalescingMicrobench", "FenceLatencyMicrobench"]

@@ -1,0 +1,181 @@
+"""RECIPE-converted indexes: P-ART, P-CLHT, P-Masstree (Lee et al., SOSP '19).
+
+RECIPE converts concurrent DRAM indexes into crash-consistent PM indexes
+by inserting flushes/fences after every store that makes an update
+visible.  The conversions keep the original fine-grained synchronization,
+so they inherit dense cross-thread interaction -- the paper singles these
+out (with CCEH and Dash) as the workloads where conservative flushing
+falls apart and ASAP shines.
+
+- **P-ART**: an adaptive radix tree (ROWEX-style writers).  Shallow
+  paths, tiny ordered updates, good scalability -- the paper's *best*
+  scaler in Figure 10.
+- **P-CLHT**: a cache-line hash table: one bucket per cache line,
+  in-place 16-byte writes under per-bucket locks.
+- **P-Masstree**: a trie of B+-trees; deeper traversals, node-level
+  locking, fence-per-line updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.workloads.base import LINE, Workload
+
+
+class PART(Workload):
+    """P-ART radix-tree inserts."""
+
+    name = "p_art"
+    category = "concurrent-ds"
+    default_ops = 120
+
+    FANOUT_NODES = 8
+    LEAF_POOL = 256
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        inner_nodes = heap.alloc_lines(self.FANOUT_NODES * 2)
+        leaves = heap.alloc_lines(self.LEAF_POOL)
+        node_locks = [heap.alloc_lock() for _ in range(self.FANOUT_NODES)]
+        next_leaf = {"slot": 0}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(40)
+                    key = rng.randrange(1_000_000)
+                    node = key % self.FANOUT_NODES
+                    # radix descent: 2-3 node reads (lock-free, ROWEX)
+                    yield Load(inner_nodes, 8)
+                    yield Load(inner_nodes + node * 2 * LINE, 8)
+                    yield Acquire(node_locks[node])
+                    # write the leaf record, order it, then publish the
+                    # child pointer in the inner node (RECIPE's pattern:
+                    # ordered store before visibility store)
+                    slot = next_leaf["slot"] % self.LEAF_POOL
+                    next_leaf["slot"] += 1
+                    yield Store(leaves + slot * LINE, 32)
+                    yield OFence()
+                    yield Store(inner_nodes + node * 2 * LINE + 8, 8)
+                    yield OFence()
+                    if next_leaf["slot"] % 16 == 0:
+                        # node growth (Node4 -> Node16 style): copy + publish
+                        yield Store(inner_nodes + node * 2 * LINE + LINE, 64)
+                        yield OFence()
+                        yield Store(inner_nodes + node * 2 * LINE, 8)
+                        yield OFence()
+                    yield Release(node_locks[node])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class PCLHT(Workload):
+    """P-CLHT cache-line hash table inserts."""
+
+    name = "p_clht"
+    category = "concurrent-ds"
+    default_ops = 120
+
+    BUCKETS = 16
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        buckets = heap.alloc_lines(self.BUCKETS)
+        locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        occupancy: Dict[int, int] = {}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(40)
+                    bucket = rng.randrange(self.BUCKETS)
+                    addr = buckets + bucket * LINE
+                    yield Load(addr, 16)  # lock-free probe
+                    yield Acquire(locks[bucket])
+                    slot = occupancy.get(addr, 0) % 3
+                    occupancy[addr] = occupancy.get(addr, 0) + 1
+                    # CLHT: key+value written into the bucket line, one
+                    # atomic visibility store, one fence
+                    yield Store(addr + slot * 16, 16)
+                    yield OFence()
+                    yield Release(locks[bucket])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class PMasstree(Workload):
+    """P-Masstree inserts (trie of B+-trees; deeper traversals)."""
+
+    name = "p_masstree"
+    category = "concurrent-ds"
+    default_ops = 90
+
+    TRIE_NODES = 8
+    LEAVES = 24
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        trie = heap.alloc_lines(self.TRIE_NODES * 4)
+        leaves = heap.alloc_lines(self.LEAVES * 4)
+        leaf_locks = [heap.alloc_lock() for _ in range(self.LEAVES)]
+        occupancy: Dict[int, int] = {}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+
+            def program(rng=rng):
+                for op in range(self.ops_per_thread):
+                    yield Compute(70)
+                    key = rng.randrange(1_000_000)
+                    # trie descent: one layer per 8-byte key slice
+                    for layer in range(3):
+                        yield Load(
+                            trie + ((key >> (8 * layer)) % self.TRIE_NODES)
+                            * 4 * LINE,
+                            8,
+                        )
+                    leaf = key % self.LEAVES
+                    leaf_addr = leaves + leaf * 4 * LINE
+                    yield Load(leaf_addr, 16)
+                    yield Acquire(leaf_locks[leaf])
+                    used = occupancy.get(leaf_addr, 0)
+                    occupancy[leaf_addr] = used + 1
+                    # masstree leaf insert: permutation-ordered entry write
+                    # then the permutation word, each ordered
+                    yield Store(leaf_addr + LINE + (used % 12) * 16, 16)
+                    yield OFence()
+                    yield Store(leaf_addr, 8)  # permutation word
+                    yield OFence()
+                    if used % 12 == 11:
+                        # leaf split: sibling write + trie-layer publish
+                        yield Store(leaf_addr + 2 * LINE, 128)
+                        yield OFence()
+                        yield Store(
+                            trie + (key % self.TRIE_NODES) * 4 * LINE, 8
+                        )
+                        yield OFence()
+                    yield Release(leaf_locks[leaf])
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["PART", "PCLHT", "PMasstree"]

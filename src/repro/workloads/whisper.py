@@ -1,0 +1,302 @@
+"""WHISPER-class application kernels: Nstore, Echo, Vacation, Memcached.
+
+These mirror the update-intensive configurations the paper uses
+(Section VII): the PM-native applications (Nstore, Echo) order their own
+log/data writes with ofence and commit with dfence, while the PMDK
+applications (Vacation, Memcached) run undo-logged transactions under
+locks.  Cross-thread persist dependencies are rare in all four
+(Figure 2), which is why HOPS already does reasonably well here and
+ASAP's win comes mostly from overlapping flushes with execution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Program,
+    Release,
+    Store,
+)
+from repro.workloads.base import LINE, Workload, pmdk_tx
+
+
+class Nstore(Workload):
+    """A PM-native storage-engine kernel (WAL + table heap).
+
+    Each thread owns a table partition.  One operation = one transaction:
+
+    1. append a write-ahead record (key+value, 64-128 B) to the partition
+       log and order it,
+    2. update the tuple in place (16-128 B) and order it,
+    3. bump the per-partition commit marker and make it durable (dfence).
+
+    Nstore keeps its partitions independent, so cross-thread dependencies
+    essentially never happen -- but the dfence per transaction makes it
+    fence-heavy, which is what hurts the Intel baseline.
+    """
+
+    name = "nstore"
+    category = "whisper"
+    default_ops = 100
+
+    TUPLES_PER_PARTITION = 64
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            log = heap.alloc_lines(64)
+            table = heap.alloc_lines(self.TUPLES_PER_PARTITION * 2)
+            marker = heap.alloc_lines(1)
+
+            def program(rng=rng, log=log, table=table, marker=marker):
+                log_cursor = 0
+                for op in range(self.ops_per_thread):
+                    value_size = rng.choice((16, 32, 64, 128))
+                    tuple_index = rng.randrange(self.TUPLES_PER_PARTITION)
+                    yield Compute(220)  # parse + plan
+                    # 1. WAL append
+                    yield Store(log + (log_cursor % 60) * LINE, 64 + value_size // 2)
+                    log_cursor += 2
+                    yield OFence()
+                    # 2. index lookup, then in-place tuple update
+                    yield Compute(160)
+                    yield Load(table + tuple_index * 2 * LINE, 8)
+                    yield Store(table + tuple_index * 2 * LINE, value_size)
+                    yield OFence()
+                    # 3. post-update bookkeeping, then the commit marker
+                    yield Compute(180)
+                    yield Store(marker, 8)
+                    yield DFence()
+                    yield Compute(150)  # respond to client
+
+            programs.append(program())
+        return programs
+
+
+class Echo(Workload):
+    """A scalable key-value store with per-worker logs.
+
+    Echo workers append updates to private persistent logs and publish
+    versions to a (rarely contended) shared version table under a striped
+    lock.  Shape: big private appends, ordered; occasional shared-table
+    writes create the few cross-thread dependencies this workload has.
+    """
+
+    name = "echo"
+    category = "whisper"
+    default_ops = 100
+
+    VERSION_STRIPES = 16
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        stripe_locks = [heap.alloc_lock() for _ in range(self.VERSION_STRIPES)]
+        version_table = heap.alloc_lines(self.VERSION_STRIPES)
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            log = heap.alloc_lines(128)
+
+            def program(rng=rng, log=log):
+                cursor = 0
+                for op in range(self.ops_per_thread):
+                    yield Compute(100)
+                    # private log append: 2 lines of key+value
+                    yield Store(log + (cursor % 120) * LINE, 128)
+                    cursor += 2
+                    yield OFence()
+                    # publish to the shared version table every few ops
+                    if op % 4 == 0:
+                        stripe = rng.randrange(self.VERSION_STRIPES)
+                        yield Acquire(stripe_locks[stripe])
+                        yield Load(version_table + stripe * LINE, 8)
+                        yield Store(version_table + stripe * LINE, 16)
+                        yield OFence()
+                        yield Release(stripe_locks[stripe])
+                    if op % 8 == 7:
+                        yield DFence()  # batch durability point
+                yield DFence()
+
+            programs.append(program())
+        return programs
+
+
+class Vacation(Workload):
+    """The STAMP travel-reservation system on PMDK-style transactions.
+
+    A coarse-grained lock protects each query; the transaction undo-logs
+    the two or three reservation records it touches, updates them, and
+    commits.  Crucially (the paper calls this out), the application does
+    volatile bookkeeping *before* releasing the lock -- by the time the
+    next thread acquires it, the previous holder's flushes are done, so
+    cross-thread dependencies are stale and eager flushing buys little
+    extra here.
+    """
+
+    name = "vacation"
+    category = "whisper"
+    default_ops = 80
+
+    RESERVATIONS = 128
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        table_lock = heap.alloc_lock()
+        reservations = heap.alloc_lines(self.RESERVATIONS)
+        tx_log = heap.alloc_lines(num_threads * 8)
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            log_slot = thread * 8 * LINE
+
+            def program(rng=rng, log_slot=log_slot):
+                for op in range(self.ops_per_thread):
+                    yield Compute(200)  # client think time / query planning
+                    yield Acquire(table_lock)
+                    picks = rng.sample(range(self.RESERVATIONS), 3)
+                    for pick in picks:
+                        yield Load(reservations + pick * LINE, 16)
+                    yield from pmdk_tx(
+                        tx_log,
+                        log_slot,
+                        [(reservations + pick * LINE, 32) for pick in picks],
+                    )
+                    # volatile bookkeeping while still holding the lock
+                    yield Compute(400)
+                    yield Release(table_lock)
+
+            programs.append(program())
+        return programs
+
+
+class CTree(Workload):
+    """A crit-bit (PATRICIA) tree under Mnemosyne-style transactions.
+
+    WHISPER's ``ctree`` persists a crit-bit tree with durable
+    transactions: each insert logs its updates, applies them -- a new
+    leaf plus one internal node spliced in with a single parent-pointer
+    update -- and commits durably.  Traversals are pointer chases over
+    internal nodes (one load per decided bit), so the read path grows
+    with the tree while the persist set stays tiny.  A single writer
+    lock serializes updates (Mnemosyne transactions are not concurrent),
+    which keeps cross-thread persist dependencies rare.
+    """
+
+    name = "ctree"
+    category = "whisper"
+    default_ops = 90
+
+    NODE_POOL = 512
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        tree_lock = heap.alloc_lock()
+        root = heap.alloc_lines(1)
+        nodes = heap.alloc_lines(self.NODE_POOL)
+        tx_log = heap.alloc_lines(num_threads * 8)
+        #: python model: sorted key list + key -> node slot
+        model: dict = {"keys": [], "slots": {}, "next_slot": 0}
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            log_slot = thread * 8 * LINE
+
+            def program(rng=rng, log_slot=log_slot):
+                import bisect
+
+                for op in range(self.ops_per_thread):
+                    yield Compute(130)  # key prep + crit-bit computation
+                    key = rng.randrange(1 << 20)
+                    yield Acquire(tree_lock)
+                    # traverse: one internal node per decided bit
+                    yield Load(root, 8)
+                    keys = model["keys"]
+                    depth = max(1, min(len(keys), 1).bit_length()
+                                + len(keys).bit_length())
+                    position = bisect.bisect_left(keys, key)
+                    for hop in range(depth):
+                        probe = keys[
+                            min(len(keys) - 1,
+                                (position * (hop + 1)) // (depth + 1))
+                        ] if keys else None
+                        slot = model["slots"].get(probe, 0)
+                        yield Load(nodes + (slot % self.NODE_POOL) * LINE, 8)
+                    # insert: new leaf + internal node + parent splice,
+                    # all inside one Mnemosyne-style durable transaction
+                    leaf_slot = model["next_slot"] % self.NODE_POOL
+                    internal_slot = (model["next_slot"] + 1) % self.NODE_POOL
+                    model["next_slot"] += 2
+                    bisect.insort(keys, key)
+                    model["slots"][key] = leaf_slot
+                    parent_slot = model["slots"].get(
+                        keys[max(0, position - 1)], 0
+                    )
+                    yield from pmdk_tx(
+                        tx_log,
+                        log_slot,
+                        [
+                            (nodes + leaf_slot * LINE, 48),
+                            (nodes + internal_slot * LINE, 32),
+                            (nodes + (parent_slot % self.NODE_POOL) * LINE, 8),
+                        ],
+                        work_cycles=80,
+                    )
+                    yield Release(tree_lock)
+                    yield Compute(90)
+
+            programs.append(program())
+        return programs
+
+
+class Memcached(Workload):
+    """An in-memory key-value cache with persistent slabs.
+
+    Items live in slab storage; the hash table is striped with per-bucket
+    locks (low contention at 4-8 threads).  A SET undo-logs the item and
+    the bucket head, writes the new item (16-128 B values), then links it
+    -- the PMDK transaction pattern the WHISPER port uses.
+    """
+
+    name = "memcached"
+    category = "whisper"
+    default_ops = 100
+
+    BUCKETS = 64
+
+    def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
+        bucket_locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        buckets = heap.alloc_lines(self.BUCKETS)
+        slabs = heap.alloc_lines(self.BUCKETS * 4)
+        tx_log = heap.alloc_lines(num_threads * 8)
+        programs = []
+        for thread in range(num_threads):
+            rng = self._rng(thread)
+            log_slot = thread * 8 * LINE
+
+            def program(rng=rng, log_slot=log_slot):
+                for op in range(self.ops_per_thread):
+                    yield Compute(180)  # request parse + hash
+                    bucket = rng.randrange(self.BUCKETS)
+                    value_size = rng.choice((16, 32, 64, 128))
+                    yield Acquire(bucket_locks[bucket])
+                    yield Load(buckets + bucket * LINE, 8)
+                    item = slabs + (bucket * 4 + rng.randrange(4)) * LINE
+                    yield from pmdk_tx(
+                        tx_log,
+                        log_slot,
+                        [(item, value_size), (buckets + bucket * LINE, 8)],
+                        work_cycles=160,
+                    )
+                    yield Release(bucket_locks[bucket])
+                    yield Compute(120)  # respond
+
+            programs.append(program())
+        return programs
+
+
+__all__ = ["CTree", "Echo", "Memcached", "Nstore", "Vacation"]

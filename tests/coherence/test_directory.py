@@ -1,0 +1,67 @@
+"""Unit tests for the coherence directory."""
+
+from repro.coherence.directory import Directory, OwnerInfo
+
+
+class TestOwnership:
+    def test_unwritten_line_has_no_owner(self, stats):
+        directory = Directory(stats)
+        assert directory.owner_of(0) is None
+
+    def test_record_write_sets_owner(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, core=1, epoch_ts=5)
+        assert directory.owner_of(0) == OwnerInfo(core=1, epoch_ts=5)
+
+    def test_rewriting_updates_epoch(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        directory.record_write(0, 1, 9)
+        assert directory.owner_of(0).epoch_ts == 9
+
+
+class TestConflicts:
+    def test_own_line_is_not_a_conflict(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        assert directory.conflicting_access(0, core=1) is None
+
+    def test_foreign_line_is_a_conflict(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        owner = directory.conflicting_access(0, core=2)
+        assert owner == OwnerInfo(core=1, epoch_ts=5)
+
+    def test_unowned_line_is_not_a_conflict(self, stats):
+        directory = Directory(stats)
+        assert directory.conflicting_access(0, core=2) is None
+
+
+class TestInvalidation:
+    def test_write_invalidates_previous_owner(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        to_invalidate = directory.record_write(0, 2, 3)
+        assert to_invalidate == [1]
+
+    def test_write_invalidates_sharers(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        directory.record_read(0, 2)
+        directory.record_read(0, 3)
+        to_invalidate = directory.record_write(0, 2, 7)
+        assert to_invalidate == [1, 3]  # not the writer itself
+
+    def test_sharers_cleared_after_write(self, stats):
+        directory = Directory(stats)
+        directory.record_read(0, 2)
+        directory.record_write(0, 1, 5)
+        assert directory.record_write(0, 1, 6) == []
+
+    def test_forget(self, stats):
+        directory = Directory(stats)
+        directory.record_write(0, 1, 5)
+        directory.record_read(0, 2)
+        directory.forget(0)
+        assert directory.owner_of(0) is None
+        assert directory.record_write(0, 3, 1) == []

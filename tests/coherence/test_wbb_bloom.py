@@ -1,0 +1,85 @@
+"""Unit tests for the write-back buffer and the counting Bloom filter."""
+
+import pytest
+
+from repro.coherence.bloom import CountingBloomFilter
+from repro.coherence.wbb import WriteBackBuffer
+
+
+class TestWriteBackBuffer:
+    def test_hold_and_release(self, stats):
+        wbb = WriteBackBuffer(4, stats, scope="core0")
+        assert wbb.hold(0x100, pb_seq=5)
+        assert wbb.holds(0x100)
+        released = wbb.release_upto(5)
+        assert released == [0x100]
+        assert not wbb.holds(0x100)
+
+    def test_release_respects_sequence(self, stats):
+        wbb = WriteBackBuffer(4, stats, scope="core0")
+        wbb.hold(0x100, pb_seq=5)
+        wbb.hold(0x200, pb_seq=9)
+        assert wbb.release_upto(6) == [0x100]
+        assert wbb.holds(0x200)
+
+    def test_full_buffer_rejects(self, stats):
+        wbb = WriteBackBuffer(2, stats, scope="core0")
+        assert wbb.hold(0, 1)
+        assert wbb.hold(64, 2)
+        assert not wbb.hold(128, 3)
+        assert stats.get("wbb_full_stalls", scope="core0") == 1
+
+    def test_release_makes_space(self, stats):
+        wbb = WriteBackBuffer(1, stats, scope="core0")
+        wbb.hold(0, 1)
+        wbb.release_upto(1)
+        assert wbb.hold(64, 2)
+
+
+class TestCountingBloomFilter:
+    def test_add_and_contains(self):
+        bloom = CountingBloomFilter(256, 2)
+        bloom.add(0x1000)
+        assert 0x1000 in bloom
+
+    def test_absent_line_usually_not_contained(self):
+        bloom = CountingBloomFilter(1024, 2)
+        bloom.add(0x1000)
+        false_positives = sum(1 for i in range(200) if (0x9000 + i * 64) in bloom)
+        assert false_positives <= 2  # sparse filter, essentially none
+
+    def test_discard_removes(self):
+        bloom = CountingBloomFilter(256, 2)
+        bloom.add(0x1000)
+        bloom.discard(0x1000)
+        assert 0x1000 not in bloom
+
+    def test_counting_supports_shared_buckets(self):
+        """The reason the filter counts: removing one element must not
+        erase another that shares its buckets."""
+        bloom = CountingBloomFilter(4, 1)  # tiny filter: guaranteed overlap
+        lines = [i * 64 for i in range(16)]
+        for line in lines:
+            bloom.add(line)
+        bloom.discard(lines[0])
+        # All remaining lines must still be present.
+        assert all(line in bloom for line in lines[1:])
+
+    def test_discard_of_absent_is_safe(self):
+        bloom = CountingBloomFilter(256, 2)
+        bloom.discard(0x1000)  # never added
+        assert len(bloom) == 0
+
+    def test_population_tracking(self):
+        bloom = CountingBloomFilter(256, 2)
+        bloom.add(0)
+        bloom.add(64)
+        assert len(bloom) == 2
+        bloom.discard(0)
+        assert len(bloom) == 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 2)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(16, 0)

@@ -1,0 +1,74 @@
+"""Unit tests for the PMem programming API and allocator."""
+
+import pytest
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Release,
+    Store,
+)
+
+
+class TestOps:
+    def test_store_defaults(self):
+        op = Store(0x1000)
+        assert op.size == 8
+        assert op.payload is None
+
+    def test_ops_are_immutable(self):
+        with pytest.raises(Exception):
+            Store(0x1000).addr = 5
+
+    def test_distinct_op_types(self):
+        kinds = {type(op) for op in (
+            Store(0), Load(0), OFence(), DFence(), Acquire(1), Release(1),
+            Compute(5),
+        )}
+        assert len(kinds) == 7
+
+
+class TestPMAllocator:
+    def test_allocations_do_not_overlap(self):
+        heap = PMAllocator()
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert b >= a + 100
+
+    def test_line_allocations_are_aligned(self):
+        heap = PMAllocator()
+        heap.alloc(13)  # misalign the bump pointer
+        addr = heap.alloc_lines(2)
+        assert addr % 64 == 0
+
+    def test_small_allocations_naturally_aligned(self):
+        heap = PMAllocator()
+        heap.alloc(3)
+        addr = heap.alloc(8)
+        assert addr % 8 == 0
+
+    def test_explicit_alignment(self):
+        heap = PMAllocator()
+        heap.alloc(10)
+        addr = heap.alloc(512, align=256)
+        assert addr % 256 == 0
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            PMAllocator().alloc(0)
+
+    def test_locks_on_distinct_lines(self):
+        heap = PMAllocator()
+        locks = [heap.alloc_lock() for _ in range(4)]
+        lines = {lock // 64 for lock in locks}
+        assert len(lines) == 4
+
+    def test_bytes_allocated(self):
+        heap = PMAllocator()
+        heap.alloc(64)
+        heap.alloc(64)
+        assert heap.bytes_allocated >= 128

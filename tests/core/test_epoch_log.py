@@ -1,0 +1,58 @@
+"""Unit tests for the epoch log (the checker's input)."""
+
+from repro.core.epoch import EpochEntry, EpochLog
+
+
+class TestEpochEntry:
+    def test_complete_requires_closed_and_acked(self):
+        entry = EpochEntry(ts=1)
+        assert not entry.complete  # open
+        entry.closed = True
+        assert entry.complete
+        entry.unacked = 1
+        assert not entry.complete
+
+    def test_single_dep(self):
+        entry = EpochEntry(ts=1)
+        entry.set_dep((2, 5))
+        assert entry.dep == (2, 5)
+        assert not entry.dep_resolved
+
+
+class TestEpochLog:
+    def test_record_write_tracks_order(self):
+        log = EpochLog()
+        log.record_write(1, line=0, core=0, epoch_ts=1)
+        log.record_write(2, line=0, core=1, epoch_ts=1)
+        assert log.line_order[0] == [1, 2]
+
+    def test_epoch_of_write(self):
+        log = EpochLog()
+        log.record_write(5, line=64, core=2, epoch_ts=9)
+        assert log.epoch_of_write(5) == (2, 9)
+
+    def test_newest_write_per_line(self):
+        log = EpochLog()
+        log.record_write(1, 0, 0, 1)
+        log.record_write(2, 0, 0, 2)
+        log.record_write(3, 64, 0, 2)
+        assert log.newest_write_per_line() == {0: 2, 64: 3}
+
+    def test_num_epochs_counts_max_ts_per_core(self):
+        log = EpochLog()
+        log.record_write(1, 0, 0, 3)
+        log.record_write(2, 64, 1, 5)
+        assert log.num_epochs() == 8
+
+    def test_dep_edges_bump_epoch_counts(self):
+        log = EpochLog()
+        log.record_dep((0, 4), (1, 2))
+        assert log.num_cross_deps() == 1
+        assert log.max_ts == {0: 4, 1: 2}
+
+    def test_payload_recording(self):
+        log = EpochLog()
+        log.record_write(1, 0, 0, 1, payload={"k": 1})
+        assert log.payloads[1] == {"k": 1}
+        log.record_write(2, 0, 0, 1)  # no payload
+        assert 2 not in log.payloads

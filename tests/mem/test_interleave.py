@@ -1,0 +1,65 @@
+"""Unit tests for address interleaving."""
+
+import pytest
+
+from repro.mem.interleave import AddressMap
+
+
+class TestLineMath:
+    def test_line_of_aligns_down(self):
+        amap = AddressMap(2)
+        assert amap.line_of(0) == 0
+        assert amap.line_of(63) == 0
+        assert amap.line_of(64) == 64
+        assert amap.line_of(130) == 128
+
+    def test_lines_of_single_line(self):
+        amap = AddressMap(2)
+        assert amap.lines_of(0, 8) == [0]
+        assert amap.lines_of(60, 4) == [0]
+
+    def test_lines_of_straddles_boundary(self):
+        amap = AddressMap(2)
+        assert amap.lines_of(60, 8) == [0, 64]
+
+    def test_lines_of_large_write(self):
+        amap = AddressMap(2)
+        assert amap.lines_of(0, 256) == [0, 64, 128, 192]
+
+    def test_lines_of_zero_size_raises(self):
+        with pytest.raises(ValueError):
+            AddressMap(2).lines_of(0, 0)
+
+
+class TestInterleaving:
+    def test_256_byte_granules_alternate(self):
+        """The paper's microbenchmark: consecutive 256B blocks alternate."""
+        amap = AddressMap(2, interleave_bytes=256)
+        assert amap.mc_of(0) == 0
+        assert amap.mc_of(256) == 1
+        assert amap.mc_of(512) == 0
+
+    def test_lines_within_granule_share_mc(self):
+        amap = AddressMap(2, interleave_bytes=256)
+        assert len({amap.mc_of_line(line) for line in (0, 64, 128, 192)}) == 1
+
+    def test_four_mcs(self):
+        amap = AddressMap(4, interleave_bytes=256)
+        assert [amap.mc_of(256 * i) for i in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_single_mc(self):
+        amap = AddressMap(1)
+        assert all(amap.mc_of(256 * i) == 0 for i in range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressMap(0)
+        with pytest.raises(ValueError):
+            AddressMap(2, interleave_bytes=100)
+
+    def test_balanced_distribution(self):
+        amap = AddressMap(2, interleave_bytes=256)
+        counts = [0, 0]
+        for block in range(1000):
+            counts[amap.mc_of(block * 256)] += 1
+        assert counts == [500, 500]

@@ -1,0 +1,188 @@
+"""Property-based crash-consistency testing (machine-checked Theorem 2).
+
+Hypothesis generates workload shapes and crash instants; every correct
+model (baseline, HOPS, ASAP, eADR) must recover to a consistent state at
+*any* instant.  The ``ASAP_NO_UNDO`` ablation -- eager flushing without
+recovery information -- demonstrates the checker's teeth: the adversarial
+scenario below reliably produces ordering violations under it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Release,
+    Store,
+)
+from repro.core.crash import run_and_crash
+from repro.sim.config import (
+    HardwareModel,
+    MachineConfig,
+    PersistencyModel,
+    RunConfig,
+)
+from repro.verify import check_consistency
+from repro.verify.dag import build_dag
+
+
+def crash_workload(heap, seed, num_threads=2, ops=10):
+    """A random mix of ordered writes and lock-mediated sharing."""
+    import random
+
+    rng = random.Random(seed)
+    lock = heap.alloc_lock()
+    shared = heap.alloc(64 * 4)
+    programs = []
+    for tid in range(num_threads):
+        # Eight 256-byte slots: big enough for the largest store below, so
+        # threads can never spill into each other's regions (that would be
+        # a data race, excluded under release persistency).
+        private = heap.alloc(256 * 8, align=256)
+
+        # ``private`` must be bound per thread: sharing it would create
+        # unsynchronized conflicting writes -- a data race, which release
+        # persistency explicitly excludes (Section IV-E: "ASAP requires
+        # race-free code").
+        def program(
+            tid=tid, private=private, rng=random.Random(seed * 131 + tid)
+        ):
+            for i in range(ops):
+                choice = rng.random()
+                if choice < 0.4:
+                    yield Store(private + 256 * (i % 8), rng.choice((8, 64, 256)))
+                    yield OFence()
+                elif choice < 0.7:
+                    yield Acquire(lock)
+                    yield Load(shared, 8)
+                    yield Store(shared + 64 * rng.randrange(4), 8)
+                    yield OFence()
+                    yield Release(lock)
+                else:
+                    yield Compute(rng.randrange(10, 200))
+            yield DFence()
+
+        programs.append(program())
+    return programs
+
+
+CORRECT_MODELS = [
+    HardwareModel.BASELINE,
+    HardwareModel.HOPS,
+    HardwareModel.ASAP,
+    HardwareModel.EADR,
+    HardwareModel.VORPAL,
+]
+
+
+@pytest.mark.parametrize("hardware", CORRECT_MODELS, ids=lambda h: h.value)
+@pytest.mark.parametrize("persistency", list(PersistencyModel), ids=lambda p: p.value)
+class TestTheorem2:
+    @given(
+        crash_cycle=st.integers(min_value=1, max_value=30_000),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_recovery_is_consistent_at_any_instant(
+        self, hardware, persistency, crash_cycle, seed
+    ):
+        heap = PMAllocator()
+        state = run_and_crash(
+            MachineConfig(num_cores=2),
+            RunConfig(hardware=hardware, persistency=persistency),
+            crash_workload(heap, seed),
+            crash_cycle,
+        )
+        report = check_consistency(state.log, state.media)
+        assert report.consistent, report.summary()
+
+
+class TestDagInvariant:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_epoch_graph_always_acyclic(self, seed):
+        """Lemma 0.1 on randomized runs."""
+        heap = PMAllocator()
+        state = run_and_crash(
+            MachineConfig(num_cores=2),
+            RunConfig(
+                hardware=HardwareModel.ASAP,
+                persistency=PersistencyModel.EPOCH,
+            ),
+            crash_workload(heap, seed),
+            crash_cycle=10**9,
+        )
+        dag = build_dag(state.log)
+        assert dag.is_acyclic()
+        assert dag.topological_order()
+
+
+def adversarial_workload(heap):
+    """Asymmetric MC pressure + a cross-thread dependency: the scenario
+    speculative persistence must keep safe (and no-undo cannot)."""
+
+    def mc_lines(base, mc, count):
+        out, addr = [], base
+        while len(out) < count:
+            if (addr // 256) % 2 == mc:
+                out.append(addr)
+            addr += 64
+        return out
+
+    chunk = heap.alloc(64 * 1024, align=256)
+    burst = mc_lines(chunk, 0, 24)
+    a = mc_lines(chunk + 32 * 1024, 0, 1)[0]
+    b = mc_lines(chunk + 48 * 1024, 1, 1)[0]
+
+    def t1():
+        for addr in burst:
+            yield Store(addr, 64)
+        yield Store(a, 64)
+        yield Compute(2000)
+        yield OFence()
+        yield DFence()
+
+    def t2():
+        yield Compute(60)
+        yield Load(a, 8)  # conflicting access -> dependency on t1
+        yield Store(b, 64)  # must not outlive the write to `a`
+        yield OFence()
+        yield DFence()
+
+    return [t1(), t2()]
+
+
+class TestCheckerHasTeeth:
+    """Failure injection: the broken model must be caught."""
+
+    def _violations(self, hardware, crash_cycles):
+        bad = 0
+        for crash_cycle in crash_cycles:
+            heap = PMAllocator()
+            state = run_and_crash(
+                MachineConfig(num_cores=2),
+                RunConfig(
+                    hardware=hardware, persistency=PersistencyModel.EPOCH
+                ),
+                adversarial_workload(heap),
+                crash_cycle,
+            )
+            if not check_consistency(state.log, state.media).consistent:
+                bad += 1
+        return bad
+
+    CRASH_POINTS = list(range(50, 4000, 37))
+
+    def test_no_undo_model_violates_ordering(self):
+        assert self._violations(HardwareModel.ASAP_NO_UNDO, self.CRASH_POINTS) > 0
+
+    def test_real_asap_survives_the_same_scenario(self):
+        assert self._violations(HardwareModel.ASAP, self.CRASH_POINTS) == 0
+
+    def test_hops_survives_the_same_scenario(self):
+        assert self._violations(HardwareModel.HOPS, self.CRASH_POINTS) == 0

@@ -1,0 +1,160 @@
+"""Tests for trace recording, serialization, replay and generation."""
+
+import pytest
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    OFence,
+    PMAllocator,
+    Release,
+    Store,
+)
+from repro.core.machine import Machine
+from repro.sim.config import HardwareModel, MachineConfig, RunConfig
+from repro.trace import (
+    SyntheticTraceConfig,
+    Trace,
+    record_programs,
+    synthetic_trace,
+)
+from repro.trace.ops import decode_op, dumps_op, encode_op, loads_op
+from repro.workloads import get_workload
+
+from repro.core.api import NewStrand
+
+ALL_OPS = [
+    Store(0x1000, 64, "payload"),
+    Store(0x1000, 8),
+    Load(0x2000, 16),
+    OFence(),
+    DFence(),
+    Acquire(0x40),
+    Release(0x40),
+    Compute(123),
+    NewStrand(),
+]
+
+
+class TestOpCodec:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: type(o).__name__)
+    def test_roundtrip(self, op):
+        assert decode_op(encode_op(op)) == op
+
+    def test_json_roundtrip(self):
+        for op in ALL_OPS:
+            assert loads_op(dumps_op(op)) == op
+
+    def test_non_json_payload_dropped(self):
+        op = Store(0x1000, 8, payload=object())
+        decoded = decode_op(encode_op(op))
+        assert decoded.payload is None
+        assert decoded.addr == op.addr
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_op(["XX"])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TypeError):
+            encode_op(object())
+
+
+class TestRecordReplay:
+    def _run(self, programs, hardware=HardwareModel.ASAP):
+        machine = Machine(
+            MachineConfig(num_cores=4), RunConfig(hardware=hardware)
+        )
+        return machine.run(programs)
+
+    def test_recording_captures_all_ops(self):
+        workload = get_workload("cceh", ops_per_thread=10)
+        heap = PMAllocator()
+        programs = workload.programs(heap, 4)
+        wrapped, trace = record_programs(programs)
+        result = self._run(wrapped)
+        assert trace.num_threads == 4
+        assert trace.num_ops() == result.ops_executed
+
+    def test_replay_reproduces_runtime_exactly(self):
+        workload = get_workload("dash_eh", ops_per_thread=10)
+        heap = PMAllocator()
+        wrapped, trace = record_programs(workload.programs(heap, 4))
+        original = self._run(wrapped)
+        replayed = self._run(trace.programs())
+        assert replayed.runtime_cycles == original.runtime_cycles
+
+    def test_replay_across_models(self):
+        """A trace recorded under ASAP runs under every model."""
+        workload = get_workload("p_clht", ops_per_thread=8)
+        heap = PMAllocator()
+        wrapped, trace = record_programs(workload.programs(heap, 2))
+        self._run(wrapped)
+        for hardware in HardwareModel:
+            machine = Machine(
+                MachineConfig(num_cores=2), RunConfig(hardware=hardware)
+            )
+            result = machine.run(trace.programs())
+            assert result.runtime_cycles > 0
+
+    def test_save_and_load(self, tmp_path):
+        workload = get_workload("fast_fair", ops_per_thread=6)
+        heap = PMAllocator()
+        wrapped, trace = record_programs(workload.programs(heap, 2))
+        self._run(wrapped)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_threads == trace.num_threads
+        assert loaded.num_ops() == trace.num_ops()
+        original = self._run(trace.programs())
+        replayed = self._run(loaded.programs())
+        assert replayed.runtime_cycles == original.runtime_cycles
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"version": 99, "threads": 0}\n')
+        with pytest.raises(ValueError, match="version"):
+            Trace.load(path)
+
+
+class TestSyntheticTraces:
+    def test_shape_parameters(self):
+        config = SyntheticTraceConfig(
+            num_threads=2, ops_per_thread=20, epoch_size=4, sharing=0.0
+        )
+        trace = synthetic_trace(config)
+        assert trace.num_threads == 2
+        ofences = sum(
+            1 for op in trace.threads[0] if type(op).__name__ == "OFence"
+        )
+        assert ofences == 5  # 20 stores / 4 per epoch
+
+    def test_sharing_produces_lock_ops(self):
+        config = SyntheticTraceConfig(sharing=1.0, ops_per_thread=12)
+        trace = synthetic_trace(config)
+        kinds = {type(op).__name__ for op in trace.threads[0]}
+        assert "Acquire" in kinds and "Release" in kinds
+
+    def test_no_sharing_no_locks(self):
+        config = SyntheticTraceConfig(sharing=0.0)
+        trace = synthetic_trace(config)
+        kinds = {type(op).__name__ for op in trace.threads[0]}
+        assert "Acquire" not in kinds
+
+    def test_deterministic(self):
+        config = SyntheticTraceConfig(seed=5)
+        heap_a, heap_b = PMAllocator(), PMAllocator()
+        a = synthetic_trace(config, heap_a)
+        b = synthetic_trace(config, heap_b)
+        assert a.threads == b.threads
+
+    def test_runs_on_machine(self):
+        trace = synthetic_trace(SyntheticTraceConfig(num_threads=2))
+        machine = Machine(
+            MachineConfig(num_cores=2), RunConfig(hardware=HardwareModel.ASAP)
+        )
+        result = machine.run(trace.programs())
+        assert result.runtime_cycles > 0

@@ -1,0 +1,176 @@
+"""Atomicity across crashes: recovery replay + property tests.
+
+The tx layer's contract: after *any* crash, running :func:`repro.tx.recover`
+leaves the variables in a state equal to replaying exactly the committed
+transactions in serialization order.  This must hold for both durability
+modes on every sound hardware model; the ORDERED mode must break on the
+``ASAP_NO_UNDO`` ablation (its correctness is borrowed from the
+hardware's ordering guarantee).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import PMAllocator
+from repro.core.crash import run_and_crash
+from repro.sim.config import HardwareModel, MachineConfig, RunConfig
+from repro.tx import DurabilityMode, check_atomicity, recover
+from repro.tx.scenarios import adversarial_workload, bank_workload
+
+
+def crash_and_check(hardware, mode, crash_cycle, seed=1, persistency=None):
+    from repro.sim.config import PersistencyModel
+
+    heap = PMAllocator()
+    programs, managers, pvars = bank_workload(heap, mode, seed=seed)
+    run_config = RunConfig(
+        hardware=hardware,
+        persistency=persistency or PersistencyModel.RELEASE,
+    )
+    state = run_and_crash(
+        MachineConfig(num_cores=2), run_config, programs, crash_cycle,
+    )
+    recovery = recover(state, managers, pvars)
+    return check_atomicity(recovery, managers, initial={})
+
+
+SOUND_MODELS = [
+    HardwareModel.BASELINE,
+    HardwareModel.HOPS,
+    HardwareModel.ASAP,
+    HardwareModel.EADR,
+]
+
+
+class TestBankAtomicity:
+    @pytest.mark.parametrize("hardware", SOUND_MODELS, ids=lambda h: h.value)
+    @pytest.mark.parametrize("mode", list(DurabilityMode), ids=lambda m: m.value)
+    @given(
+        crash_cycle=st.integers(min_value=50, max_value=25_000),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_every_crash_recovers_atomically(
+        self, hardware, mode, crash_cycle, seed
+    ):
+        report = crash_and_check(hardware, mode, crash_cycle, seed)
+        assert report.atomic, report.summary()
+
+    def test_complete_run_commits_everything(self):
+        report = crash_and_check(HardwareModel.ASAP, DurabilityMode.DFENCE,
+                                 crash_cycle=10**8)
+        assert report.atomic
+        assert len(report.committed) == 24  # 2 threads x 12 txs
+
+    def test_atomic_under_epoch_persistency_too(self):
+        """The tx layer's guarantees are persistency-model independent;
+        EP's extra data-conflict dependences must not break anything."""
+        from repro.sim.config import PersistencyModel
+
+        for crash_cycle in (700, 2500, 9000):
+            for mode in DurabilityMode:
+                report = crash_and_check(
+                    HardwareModel.ASAP, mode, crash_cycle,
+                    persistency=PersistencyModel.EPOCH,
+                )
+                assert report.atomic, report.summary()
+
+    def test_atomic_on_vorpal(self):
+        for crash_cycle in (700, 2500, 9000):
+            for mode in DurabilityMode:
+                report = crash_and_check(
+                    HardwareModel.VORPAL, mode, crash_cycle
+                )
+                assert report.atomic, report.summary()
+
+    def test_money_is_conserved_after_any_crash(self):
+        """The classic invariant: transfers never create or destroy money."""
+        for crash_cycle in range(500, 12_000, 1_500):
+            heap = PMAllocator()
+            programs, managers, pvars = bank_workload(
+                heap, DurabilityMode.ORDERED, seed=3
+            )
+            state = run_and_crash(
+                MachineConfig(num_cores=2),
+                RunConfig(hardware=HardwareModel.ASAP),
+                programs, crash_cycle,
+            )
+            recovery = recover(state, managers, pvars)
+            report = check_atomicity(recovery, managers, initial={})
+            assert report.atomic
+            balances = [
+                recovery.values[v.name] for v in pvars
+                if recovery.values.get(v.name) is not None
+            ]
+            # accounts start (implicitly) at 100; transfers preserve the sum
+            touched = len(balances)
+            assert sum(balances) == 100 * touched
+
+
+class TestOrderedModeNeedsOrderingHardware:
+    CRASHES = list(range(50, 6000, 53))
+
+    def _violations(self, hardware, mode):
+        bad = 0
+        for crash_cycle in self.CRASHES:
+            heap = PMAllocator()
+            programs, managers, pvars = adversarial_workload(heap, mode)
+            state = run_and_crash(
+                MachineConfig(num_cores=2), RunConfig(hardware=hardware),
+                programs, crash_cycle,
+            )
+            recovery = recover(state, managers, pvars)
+            if not check_atomicity(recovery, managers, initial={}).atomic:
+                bad += 1
+        return bad
+
+    def test_ordered_mode_breaks_without_undo_records(self):
+        """The headline failure injection: ordered commits are only as good
+        as the hardware's persist ordering."""
+        assert self._violations(
+            HardwareModel.ASAP_NO_UNDO, DurabilityMode.ORDERED
+        ) > 0
+
+    def test_dfence_mode_safe_even_without_undo_records(self):
+        assert self._violations(
+            HardwareModel.ASAP_NO_UNDO, DurabilityMode.DFENCE
+        ) == 0
+
+    def test_ordered_mode_safe_on_real_asap(self):
+        assert self._violations(HardwareModel.ASAP, DurabilityMode.ORDERED) == 0
+
+    def test_ordered_mode_safe_on_hops(self):
+        assert self._violations(HardwareModel.HOPS, DurabilityMode.ORDERED) == 0
+
+
+class TestRecoveryMechanics:
+    def test_recovery_reports_undone_transactions(self):
+        heap = PMAllocator()
+        programs, managers, pvars = bank_workload(
+            heap, DurabilityMode.DFENCE, seed=5
+        )
+        state = run_and_crash(
+            MachineConfig(num_cores=2), RunConfig(hardware=HardwareModel.ASAP),
+            programs, 2_000,
+        )
+        recovery = recover(state, managers, pvars)
+        # committed_seq present for both threads
+        assert set(recovery.committed_seq) == {0, 1}
+        # every undone record belongs to an uncommitted transaction
+        for payload in recovery.undone:
+            assert payload.tx_seq > recovery.committed_seq[payload.thread]
+
+    def test_pristine_crash_recovers_to_initial(self):
+        heap = PMAllocator()
+        programs, managers, pvars = bank_workload(
+            heap, DurabilityMode.DFENCE
+        )
+        state = run_and_crash(
+            MachineConfig(num_cores=2), RunConfig(hardware=HardwareModel.ASAP),
+            programs, 1,
+        )
+        recovery = recover(state, managers, pvars)
+        assert recovery.committed_seq == {0: 0, 1: 0}
+        report = check_atomicity(recovery, managers, initial={})
+        assert report.atomic
+        assert report.committed == []

@@ -1,0 +1,124 @@
+"""Unit tests for the software transaction layer."""
+
+import pytest
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    OFence,
+    PMAllocator,
+    Release,
+    Store,
+)
+from repro.core.machine import Machine
+from repro.sim.config import HardwareModel, MachineConfig, RunConfig
+from repro.tx import DurabilityMode, PVar, TransactionManager
+from repro.tx.undolog import CommitPayload, DataPayload, UndoPayload
+
+
+@pytest.fixture
+def setup():
+    heap = PMAllocator()
+    shared = {}
+    manager = TransactionManager(heap, thread=0, shared_state=shared)
+    var_a = PVar("a", heap.alloc_lines(1))
+    var_b = PVar("b", heap.alloc_lines(1))
+    return heap, shared, manager, var_a, var_b
+
+
+class TestTransactionShape:
+    def test_op_sequence(self, setup):
+        _heap, _shared, manager, a, b = setup
+        ops = list(manager.transaction([(a, 1), (b, 2)]))
+        kinds = [type(op).__name__ for op in ops]
+        # 2 undo stores, fence, 2 data stores, fence, commit store, dfence
+        assert kinds == [
+            "Store", "Store", "OFence", "Store", "Store", "OFence",
+            "Store", "DFence",
+        ]
+
+    def test_ordered_mode_ends_with_ofence(self, setup):
+        heap, shared, _m, a, _b = setup
+        manager = TransactionManager(
+            heap, 1, shared, mode=DurabilityMode.ORDERED
+        )
+        ops = list(manager.transaction([(a, 1)]))
+        assert type(ops[-1]).__name__ == "OFence"
+
+    def test_payloads_carry_tx_metadata(self, setup):
+        _h, _s, manager, a, _b = setup
+        ops = list(manager.transaction([(a, 42)]))
+        undo = ops[0].payload
+        assert isinstance(undo, UndoPayload)
+        assert undo.var == "a" and undo.old_value is None
+        data = ops[2].payload
+        assert isinstance(data, DataPayload)
+        assert data.value == 42
+        commit = ops[4].payload
+        assert isinstance(commit, CommitPayload)
+        assert commit.tx_seq == 1
+
+    def test_old_values_recorded(self, setup):
+        _h, shared, manager, a, _b = setup
+        list(manager.transaction([(a, 1)]))
+        ops = list(manager.transaction([(a, 2)]))
+        assert ops[0].payload.old_value == 1
+
+    def test_empty_transaction_is_noop(self, setup):
+        _h, _s, manager, _a, _b = setup
+        assert list(manager.transaction([])) == []
+        assert manager.records == []
+
+    def test_records_registered_eagerly(self, setup):
+        """The record must exist by the first yielded op (the commit store
+        can persist while the generator is still suspended)."""
+        _h, _s, manager, a, _b = setup
+        gen = manager.transaction([(a, 1)])
+        next(gen)  # first op requested
+        assert len(manager.records) == 1
+        assert manager.records[0].writes == [("a", None, 1)]
+
+    def test_log_slots_rotate(self, setup):
+        _h, _s, manager, a, b = setup
+        first = list(manager.transaction([(a, 1)]))[0].addr
+        second = list(manager.transaction([(b, 2)]))[0].addr
+        assert first != second
+
+    def test_serial_numbers_globally_ordered(self, setup):
+        heap, shared, manager, a, b = setup
+        other = TransactionManager(heap, 1, shared)
+        list(manager.transaction([(a, 1)]))
+        list(other.transaction([(b, 2)]))
+        list(manager.transaction([(a, 3)]))
+        serials = [
+            r.serial for r in sorted(
+                manager.records + other.records, key=lambda r: r.serial
+            )
+        ]
+        assert serials == sorted(serials)
+        assert len(set(serials)) == 3
+
+
+class TestEndToEnd:
+    def test_transactions_run_on_machine(self):
+        heap = PMAllocator()
+        shared = {}
+        manager = TransactionManager(heap, 0, shared)
+        a = PVar("a", heap.alloc_lines(1))
+        lock = heap.alloc_lock()
+
+        def program():
+            for i in range(5):
+                yield Acquire(lock)
+                yield from manager.transaction([(a, i)])
+                yield Release(lock)
+                yield Compute(50)
+
+        machine = Machine(
+            MachineConfig(num_cores=1), RunConfig(hardware=HardwareModel.ASAP)
+        )
+        result = machine.run([program()])
+        assert shared["a"] == 4
+        assert len(manager.records) == 5
+        assert result.runtime_cycles > 0

@@ -1,0 +1,114 @@
+"""Unit tests for the recovery-consistency checker (Theorem 2)."""
+
+from repro.core.epoch import EpochLog
+from repro.verify.consistency import check_consistency
+
+
+def log_with(writes, deps=()):
+    """writes: list of (write_id, line, core, ts)."""
+    log = EpochLog()
+    for write_id, line, core, ts in writes:
+        log.record_write(write_id, line, core, ts)
+    for src, dst in deps:
+        log.record_dep(src, dst)
+    return log
+
+
+class TestConsistentImages:
+    def test_everything_durable(self):
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
+        report = check_consistency(log, {0: 1, 64: 2})
+        assert report.consistent
+        assert report.damaged == set()
+
+    def test_everything_lost(self):
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
+        report = check_consistency(log, {})
+        assert report.consistent  # losing a whole suffix is fine
+        assert report.survivors == set()
+
+    def test_prefix_survives(self):
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
+        report = check_consistency(log, {0: 1})
+        assert report.consistent
+        assert (0, 2) in report.damaged
+
+    def test_partial_epoch_is_legal(self):
+        """Epoch persistency gives ordering, not atomicity: losing one
+        write of an epoch while another survives is fine."""
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 1)])
+        report = check_consistency(log, {0: 1})
+        assert report.consistent
+
+    def test_overwritten_writes_are_absorbed_not_lost(self):
+        log = log_with([(1, 0, 0, 1), (2, 0, 0, 2)])
+        # Only the newest value survives; write 1 was overwritten, which
+        # does not damage epoch 1.
+        report = check_consistency(log, {0: 2})
+        assert report.consistent
+        assert report.damaged == set()
+
+
+class TestViolations:
+    def test_lost_predecessor_with_surviving_successor(self):
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
+        report = check_consistency(log, {64: 2})  # epoch 2 survived, 1 lost
+        assert not report.consistent
+        violation = report.violations[0]
+        assert violation.damaged_epoch == (0, 1)
+        assert violation.survivor_epoch == (0, 2)
+        assert "lost write 1" in violation.describe()
+
+    def test_cross_thread_violation(self):
+        log = log_with(
+            [(1, 0, 0, 1), (2, 64, 1, 2)],
+            deps=[((0, 1), (1, 2))],
+        )
+        report = check_consistency(log, {64: 2})
+        assert not report.consistent
+
+    def test_cross_thread_without_edge_is_legal(self):
+        """No ordering was promised between unrelated threads."""
+        log = log_with([(1, 0, 0, 1), (2, 64, 1, 2)])
+        report = check_consistency(log, {64: 2})
+        assert report.consistent
+
+    def test_transitive_violation(self):
+        log = log_with(
+            [(1, 0, 0, 1), (2, 64, 1, 2), (3, 128, 2, 3)],
+            deps=[((0, 1), (1, 2)), ((1, 2), (2, 3))],
+        )
+        # epoch (0,1) lost, epoch (2,3) survived two hops downstream.
+        report = check_consistency(log, {128: 3})
+        assert not report.consistent
+
+    def test_unknown_recovered_value_flagged(self):
+        log = log_with([(1, 0, 0, 1)])
+        report = check_consistency(log, {0: 999})
+        assert not report.consistent
+        assert report.unknown_values == [(0, 999)]
+
+    def test_old_value_resurrection_is_a_violation(self):
+        """Memory holding write 1 after write 2 (same thread, later epoch)
+        was made durable means epoch 2 'survived' while epoch 3's write to
+        the same line was lost -- the stale-value bug ASAP's delay records
+        exist to prevent (Figure 5)."""
+        log = log_with([(1, 0, 0, 1), (2, 0, 0, 2), (3, 64, 0, 3)])
+        report = check_consistency(log, {0: 1, 64: 3})
+        assert not report.consistent
+
+
+class TestReporting:
+    def test_summary_mentions_counts(self):
+        log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
+        good = check_consistency(log, {0: 1, 64: 2})
+        assert "consistent" in good.summary()
+        bad = check_consistency(log, {64: 2})
+        assert "INCONSISTENT" in bad.summary()
+
+    def test_multiple_survivors_reported(self):
+        log = log_with(
+            [(1, 0, 0, 1), (2, 64, 0, 2), (3, 128, 0, 3)],
+        )
+        report = check_consistency(log, {64: 2, 128: 3})  # epoch 1 lost
+        assert len(report.violations) == 2

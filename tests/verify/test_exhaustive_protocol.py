@@ -1,0 +1,333 @@
+"""Exhaustive small-scope model checking of the controller protocol.
+
+The property tests sample crash instants; this module *enumerates* them.
+For small scenarios -- a handful of writes to one cache line, spread over
+epochs with a dependence DAG -- it explores **every interleaving** of
+
+- write arrivals at the controller (any order: that is precisely the
+  reorder freedom eager flushing creates), each tagged early/safe by the
+  protocol's own rule (safe iff the epoch's predecessors have committed
+  and the epoch's own earlier writes have arrived);
+- epoch commits (eligible once the epoch is safe and fully arrived);
+
+and, **at every reachable state**, simulates the power-fail sequence
+(WPQ-equivalent memory + undo unwinding, delay discard) and checks the
+recovered value against epoch persistency's rule: the value is legal iff
+no write newer than it (per-line order) belongs to an epoch that strictly
+precedes the value's epoch in the DAG... more precisely, iff no *lost*
+epoch is a strict ancestor of the *surviving* one.
+
+The real :class:`repro.core.recovery_table.RecoveryTable` is the system
+under test -- the explorer drives it exactly as a controller would
+(Table I), so every undo/delay/commit rule is covered for every legal
+history of the scenario, including Figure 5's write collision and the
+same-epoch re-flush rule.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.core.recovery_table import RecoveryTable
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+
+Epoch = str  # epoch label
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Writes to one line, per-line order = list order."""
+
+    name: str
+    #: (write_id, epoch) in per-line (volatile/coherence) order.
+    writes: Tuple[Tuple[int, Epoch], ...]
+    #: strict-precedence edges between epochs (DAG).
+    edges: Tuple[Tuple[Epoch, Epoch], ...]
+
+    def epochs(self) -> List[Epoch]:
+        seen: List[Epoch] = []
+        for _w, epoch in self.writes:
+            if epoch not in seen:
+                seen.append(epoch)
+        for src, dst in self.edges:
+            for epoch in (src, dst):
+                if epoch not in seen:
+                    seen.append(epoch)
+        return seen
+
+    def ancestors(self) -> Dict[Epoch, Set[Epoch]]:
+        result: Dict[Epoch, Set[Epoch]] = {e: set() for e in self.epochs()}
+        changed = True
+        while changed:
+            changed = False
+            for src, dst in self.edges:
+                new = result[dst] | {src} | result.get(src, set())
+                if new != result[dst]:
+                    result[dst] = new
+                    changed = True
+        return result
+
+
+class _State:
+    """One explorer state: the real RT plus abstract memory/ACK state."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.rt = RecoveryTable(
+            Engine(), capacity=8, stats=StatsRegistry(), scope="x"
+        )
+        self.memory = 0  # durable value (WPQ folded in)
+        self.arrived: Set[int] = set()
+        self.committed: Set[Epoch] = set()
+        self.trace: List[str] = []
+
+    # -- protocol-side helpers ------------------------------------------
+
+    def epoch_of(self, write_id: int) -> Epoch:
+        for w, epoch in self.scenario.writes:
+            if w == write_id:
+                return epoch
+        raise KeyError(write_id)
+
+    def safe(self, epoch: Epoch) -> bool:
+        ancestors = self.scenario.ancestors()[epoch]
+        return ancestors <= self.committed
+
+    def fully_arrived(self, epoch: Epoch) -> bool:
+        return all(
+            w in self.arrived
+            for w, e in self.scenario.writes
+            if e == epoch
+        )
+
+    # -- actions ----------------------------------------------------------
+
+    def available_actions(self) -> List[Tuple[str, object]]:
+        actions: List[Tuple[str, object]] = []
+        for w, epoch in self.scenario.writes:
+            if w in self.arrived:
+                continue
+            # Same-address order within an epoch is preserved by the
+            # persist buffer (see make_eager_policy), so a write may only
+            # arrive after its same-epoch per-line predecessors.
+            predecessors_arrived = all(
+                w2 in self.arrived
+                for w2, e2 in self.scenario.writes
+                if e2 == epoch and w2 < w
+            )
+            if predecessors_arrived:
+                actions.append(("arrive", w))
+        for epoch in self.scenario.epochs():
+            if (
+                epoch not in self.committed
+                and self.safe(epoch)
+                and self.fully_arrived(epoch)
+            ):
+                actions.append(("commit", epoch))
+        return actions
+
+    def apply(self, action: Tuple[str, object]) -> None:
+        kind, arg = action
+        if kind == "arrive":
+            self._arrive(arg)
+        else:
+            self._commit(arg)
+        self.trace.append(f"{kind}({arg})")
+
+    def _arrive(self, write_id: int) -> None:
+        epoch = self.epoch_of(write_id)
+        early = not self.safe(epoch)
+        core, ts = 0, self._ts(epoch)
+        line = 0
+        # mirror the controller: a flush supersedes its own epoch's
+        # earlier delayed value on the line
+        self.rt.supersede_delay(line, core, ts)
+        owner = self.rt.undo_owner(line)
+        if owner == (core, ts):
+            # same-epoch re-flush: update memory, leave the record alone
+            self.memory = write_id
+        elif early:
+            if self.rt.has_undo(line):
+                assert self.rt.add_delay(line, write_id, core, ts)
+            else:
+                assert self.rt.create_undo(line, self.memory, core, ts)
+                self.memory = write_id
+        else:
+            if self.rt.has_undo(line):
+                self.rt.update_undo(line, write_id)
+            else:
+                self.memory = write_id
+        self.arrived.add(write_id)
+
+    def _commit(self, epoch: Epoch) -> None:
+        released = self.rt.process_commit(0, self._ts(epoch))
+        for _line, write_id in released:
+            self.memory = write_id
+        self.committed.add(epoch)
+
+    def _ts(self, epoch: Epoch) -> int:
+        return self.scenario.epochs().index(epoch) + 1
+
+    # -- the crash check ----------------------------------------------------
+
+    def crash_value(self) -> int:
+        value = self.memory
+        for _line, safe_value in self.rt.undo_records():
+            value = safe_value
+        return value
+
+    def crash_is_legal(self) -> bool:
+        recovered = self.crash_value()
+        order = [w for w, _e in self.scenario.writes]
+        if recovered == 0:
+            lost = order
+            survivor: Optional[Epoch] = None
+        else:
+            cut = order.index(recovered) + 1
+            lost = order[cut:]
+            survivor = self.epoch_of(recovered)
+        if survivor is None:
+            return True
+        ancestors = self.scenario.ancestors()[survivor]
+        return not any(self.epoch_of(w) in ancestors for w in lost)
+
+    def clone(self) -> "_State":
+        import copy
+
+        return copy.deepcopy(self)
+
+
+def explore(scenario: Scenario) -> Tuple[int, int]:
+    """DFS over every interleaving; crash-check every state.
+
+    Returns (states explored, terminal states).  Raises AssertionError
+    with the violating trace on any illegal crash state.
+    """
+    # Scenario validity: conflicting writes must be epoch-ordered (strong
+    # persist atomicity) -- later per-line writes' epochs must descend
+    # from (or equal) earlier ones.
+    ancestors = scenario.ancestors()
+    for (w_a, e_a), (w_b, e_b) in itertools.combinations(scenario.writes, 2):
+        assert e_a == e_b or e_a in ancestors[e_b], (
+            f"{scenario.name}: writes {w_a}/{w_b} conflict but epochs "
+            f"{e_a}/{e_b} are unordered -- illegal under strong persist "
+            "atomicity"
+        )
+    states = 0
+    terminals = 0
+    stack = [_State(scenario)]
+    while stack:
+        state = stack.pop()
+        states += 1
+        assert state.crash_is_legal(), (
+            f"{scenario.name}: crash after {state.trace} recovers "
+            f"{state.crash_value()} (memory={state.memory}, "
+            f"undo={state.rt.undo_records()})"
+        )
+        actions = state.available_actions()
+        if not actions:
+            terminals += 1
+            # a finished history is fully durable: newest value on media
+            assert state.crash_value() == scenario.writes[-1][0], (
+                f"{scenario.name}: terminal state lost data after "
+                f"{state.trace}"
+            )
+            continue
+        for action in actions:
+            successor = state.clone()
+            successor.apply(action)
+            stack.append(successor)
+    return states, terminals
+
+
+SCENARIOS = [
+    Scenario(
+        name="figure5_write_collision",
+        # A=1 (T1/E1), A=2 (T2/E2), A=3 (T3/E3); lock-chained epochs.
+        writes=((1, "E1"), (2, "E2"), (3, "E3")),
+        edges=(("E1", "E2"), ("E2", "E3")),
+    ),
+    Scenario(
+        name="single_thread_chain",
+        writes=((1, "A"), (2, "B"), (3, "C")),
+        edges=(("A", "B"), ("B", "C")),
+    ),
+    Scenario(
+        name="same_epoch_reflush",
+        # two writes of one epoch to the line, then a successor epoch
+        writes=((1, "A"), (2, "A"), (3, "B")),
+        edges=(("A", "B"),),
+    ),
+    Scenario(
+        name="delayed_then_direct_same_epoch",
+        # the successor epoch writes the line twice: its first write can
+        # be delayed behind A's undo record, its second can arrive after
+        # A's commit freed the line -- the stale delayed value must not
+        # resurrect at B's commit.
+        writes=((1, "A"), (2, "B"), (3, "B")),
+        edges=(("A", "B"),),
+    ),
+    # NOTE: there is deliberately no "unordered epochs, same line"
+    # scenario: conflicting writes are always DAG-ordered (strong persist
+    # atomicity) -- the machine enforces it across threads (coherence
+    # dependences) and across strands (cross-strand conflict ordering),
+    # and release persistency excludes the racy remainder by contract.
+    # ``explore`` validates the constraint on every scenario.
+    Scenario(
+        name="cross_edge_only",
+        # E2 ordered after E1 purely by a cross-thread edge
+        writes=((1, "E1"), (2, "E2")),
+        edges=(("E1", "E2"),),
+    ),
+    Scenario(
+        name="diamond",
+        # A -> {B, C} -> D: the line is written on the ordered spine
+        # (A, B, D); C is a write-free epoch on the other branch whose
+        # commit still gates D's safety.
+        writes=((1, "A"), (2, "B"), (4, "D")),
+        edges=(("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")),
+    ),
+    Scenario(
+        name="four_deep_chain",
+        writes=((1, "A"), (2, "B"), (3, "C"), (4, "D")),
+        edges=(("A", "B"), ("B", "C"), ("C", "D")),
+    ),
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_exhaustive_protocol_exploration(scenario):
+    states, terminals = explore(scenario)
+    # sanity: the exploration actually covered a meaningful space
+    assert states > 10
+    assert terminals >= 1
+
+
+def test_state_space_sizes_are_exhaustive():
+    """The explorer must visit at least every arrival permutation."""
+    import math
+
+    scenario = SCENARIOS[0]
+    states, _ = explore(scenario)
+    assert states >= math.factorial(len(scenario.writes))
+
+
+def test_figure5_specific_interleaving():
+    """Walk the paper's exact Figure 5 sequence through the explorer's
+    state object and check each intermediate crash value."""
+    scenario = SCENARIOS[0]
+    state = _State(scenario)
+    state.apply(("arrive", 3))  # A=3 arrives first (early): undo(A=0)
+    assert state.crash_value() == 0
+    state.apply(("arrive", 2))  # A=2 arrives early: delay record
+    assert state.crash_value() == 0
+    state.apply(("arrive", 1))  # A=1 (E1 safe): folded into the undo
+    assert state.crash_value() == 1
+    state.apply(("commit", "E1"))
+    state.apply(("commit", "E2"))  # delay(A=2) folds into the undo
+    assert state.crash_value() == 2
+    state.apply(("commit", "E3"))  # undo dropped: A=3 durable
+    assert state.crash_value() == 3
