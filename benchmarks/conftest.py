@@ -12,11 +12,33 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.exp import run_grid
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for the figure grids: ``REPRO_BENCH_JOBS=4 pytest
+#: benchmarks/`` fans every sweep out; unset/0/1 keeps them serial.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
+
+#: Result-cache directory: ``REPRO_BENCH_CACHE=/tmp/repro-cache`` makes
+#: re-runs of the harness skip every already-computed cell.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def bench_grid(workloads, models, machine=None, **kwargs):
+    """The benchmarks' single entry into the :mod:`repro.exp` engine.
+
+    Identical to :func:`repro.exp.run_grid` but wired to the harness's
+    ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE`` environment knobs.
+    """
+    kwargs.setdefault("jobs", BENCH_JOBS)
+    kwargs.setdefault("cache", BENCH_CACHE)
+    return run_grid(workloads, models, machine, **kwargs)
 
 #: Operations per thread used by the figure sweeps.  Large enough to
 #: reach buffer steady state (the calibration analysis showed transients

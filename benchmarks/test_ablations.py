@@ -13,13 +13,13 @@ Not figures from the paper, but experiments its text implies:
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
+from repro.core.models import ModelSpec
 from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
 from repro.workloads.dash import DashEH
 from repro.workloads.microbench import BandwidthMicrobench
 from repro.workloads.whisper import Nstore
 
-from benchmarks.conftest import FIGURE_OPS
+from benchmarks.conftest import FIGURE_OPS, bench_grid
 
 RP = PersistencyModel.RELEASE
 
@@ -30,9 +30,9 @@ def run_rt_size_sweep():
     hops_runtime = None
     for rt_entries in (0, 4, 8, 16, 32, 64):
         config = MachineConfig(num_cores=4, rt_entries=rt_entries)
-        result = sweep(
+        result = bench_grid(
             [DashEH],
-            [ModelSpec("asap", HardwareModel.ASAP, RP)],
+            ["asap"],
             config,
             ops_per_thread=FIGURE_OPS,
         )
@@ -43,9 +43,9 @@ def run_rt_size_sweep():
              run.result.stats.total("flushes_nacked"),
              run.result.stats.total("totalUndo")]
         )
-    hops = sweep(
+    hops = bench_grid(
         [DashEH],
-        [ModelSpec("hops", HardwareModel.HOPS, RP)],
+        ["hops"],
         MachineConfig(num_cores=4),
         ops_per_thread=FIGURE_OPS,
     )
@@ -77,10 +77,9 @@ def run_nvm_bw_sweep():
     for factor, label in ((2.0, "0.5x bw"), (1.0, "1x bw"), (0.5, "2x bw"),
                           (0.25, "4x bw")):
         config = MachineConfig(num_cores=4).scaled_nvm_write(factor)
-        result = sweep(
+        result = bench_grid(
             [BandwidthMicrobench],
-            [ModelSpec("hops", HardwareModel.HOPS, RP),
-             ModelSpec("asap", HardwareModel.ASAP, RP)],
+            ["hops", "asap"],
             config,
             ops_per_thread=150,
         )
@@ -162,9 +161,9 @@ def test_ablation_strands(benchmark, record):
 
 
 def run_no_undo_comparison():
-    result = sweep(
+    result = bench_grid(
         [Nstore, DashEH],
-        [ModelSpec("asap", HardwareModel.ASAP, RP),
+        ["asap",
          ModelSpec("no_undo", HardwareModel.ASAP_NO_UNDO, RP)],
         MachineConfig(num_cores=4),
         ops_per_thread=FIGURE_OPS,

@@ -12,10 +12,12 @@ sweeps show how sensitive each design is to those choices.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
+from repro.core.models import ModelSpec
 from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
 from repro.workloads.dash import DashEH
 from repro.workloads.whisper import Echo
+
+from benchmarks.conftest import bench_grid
 
 from dataclasses import replace
 
@@ -24,7 +26,7 @@ OPS = 120
 
 
 def _runtime(config, hardware):
-    result = sweep(
+    result = bench_grid(
         [DashEH],
         [ModelSpec("m", hardware, RP)],
         config,

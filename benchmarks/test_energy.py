@@ -13,28 +13,23 @@ access).
 
 from repro.analysis.energy import estimate_energy
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS
+from benchmarks.conftest import FIGURE_OPS, bench_grid
 
-MODELS = [
-    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
-    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-]
+MODELS = ["baseline", "hops", "asap"]
 
 
 def run_energy():
-    result = sweep(
+    result = bench_grid(
         SUITE, MODELS, MachineConfig(num_cores=4), ops_per_thread=FIGURE_OPS
     )
     rows = []
     per_op = {}
     for name in result.workloads:
         cells = [name]
-        for model in [m.name for m in MODELS]:
+        for model in MODELS:
             run = result.runs[(name, model)].result
             breakdown = estimate_energy(run)
             pj = breakdown.total_pj / max(1, run.ops_executed)

@@ -9,20 +9,19 @@ series, normalized to events per million cycles (the paper's 1 ms at
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS
+from benchmarks.conftest import FIGURE_OPS, bench_grid
 
 CONCURRENT_DS = {"cceh", "dash_lh", "dash_eh", "p_art", "p_clht", "p_masstree"}
 WHISPER = {"nstore", "echo", "vacation", "memcached"}
 
 
 def run_figure2():
-    model = ModelSpec("asap_rp", HardwareModel.ASAP, PersistencyModel.RELEASE)
-    result = sweep(
-        SUITE, [model], MachineConfig(num_cores=4), ops_per_thread=FIGURE_OPS
+    result = bench_grid(
+        SUITE, ["asap_rp"], MachineConfig(num_cores=4),
+        ops_per_thread=FIGURE_OPS,
     )
     rows = []
     per_mcycle = {}

@@ -8,19 +8,17 @@ flushing.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS, geomean
+from benchmarks.conftest import FIGURE_OPS, bench_grid, geomean
 
 CONCURRENT_DS = {"cceh", "dash_lh", "dash_eh", "p_art", "p_clht", "p_masstree"}
 
 
 def run_figure3():
     config = MachineConfig(num_cores=4)
-    model = ModelSpec("hops_rp", HardwareModel.HOPS, PersistencyModel.RELEASE)
-    result = sweep(SUITE, [model], config, ops_per_thread=FIGURE_OPS)
+    result = bench_grid(SUITE, ["hops_rp"], config, ops_per_thread=FIGURE_OPS)
     rows, percents = [], {}
     for name in result.workloads:
         run = result.runs[(name, "hops_rp")]

@@ -10,17 +10,17 @@ baseline; the published numbers to compare shapes against:
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import STANDARD_MODELS, sweep
+from repro.core.models import STANDARD_MODELS
 from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS, geomean
+from benchmarks.conftest import FIGURE_OPS, bench_grid, geomean
 
 HOPS_EP_BELOW_BASELINE = ("queue", "cceh", "dash_eh", "p_art")
 
 
 def run_figure8():
-    result = sweep(
+    result = bench_grid(
         SUITE, STANDARD_MODELS, MachineConfig(num_cores=4),
         ops_per_thread=FIGURE_OPS,
     )

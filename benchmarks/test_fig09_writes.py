@@ -9,20 +9,16 @@ PM reads on average.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS, geomean
+from benchmarks.conftest import FIGURE_OPS, bench_grid, geomean
 
 
 def run_figure9():
-    models = [
-        ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-        ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-    ]
-    result = sweep(
-        SUITE, models, MachineConfig(num_cores=4), ops_per_thread=FIGURE_OPS
+    result = bench_grid(
+        SUITE, ["hops", "asap"], MachineConfig(num_cores=4),
+        ops_per_thread=FIGURE_OPS,
     )
     rows, write_ratios, read_ratios = [], [], []
     for name in result.workloads:

@@ -11,20 +11,15 @@ resolution and the global TS register saturate.
 """
 
 from repro.analysis.report import render_series, render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
-from repro.workloads.registry import get_workload
 
-from benchmarks.conftest import geomean
+from benchmarks.conftest import bench_grid, geomean
 
 CORE_COUNTS = (1, 2, 4, 8)
 OPS = 100  # per thread; total work grows with threads as in the paper
 
-MODELS = [
-    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-]
+MODELS = ["hops", "asap"]
 
 
 def run_figure10():
@@ -32,7 +27,7 @@ def run_figure10():
     throughput = {}  # (workload, model, cores) -> ops/cycle
     for cores in CORE_COUNTS:
         config = MachineConfig(num_cores=cores)
-        result = sweep(SUITE, MODELS, config, ops_per_thread=OPS)
+        result = bench_grid(SUITE, MODELS, config, ops_per_thread=OPS)
         for name in result.workloads:
             for model in ("hops", "asap"):
                 cycles = result.runtime(name, model)

@@ -6,20 +6,16 @@ paper uses this to argue ASAP would do fine with smaller buffers.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS
+from benchmarks.conftest import FIGURE_OPS, bench_grid
 
 
 def run_figure11():
-    models = [
-        ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-        ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-    ]
-    result = sweep(
-        SUITE, models, MachineConfig(num_cores=4), ops_per_thread=FIGURE_OPS
+    result = bench_grid(
+        SUITE, ["hops", "asap"], MachineConfig(num_cores=4),
+        ops_per_thread=FIGURE_OPS,
     )
     rows = []
     occupancy = {}

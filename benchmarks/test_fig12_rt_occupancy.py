@@ -8,13 +8,12 @@ HOPS, because the persist buffers keep flushing conservatively.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
-from benchmarks.conftest import FIGURE_OPS
+from benchmarks.conftest import FIGURE_OPS, bench_grid
 
-MODEL = [ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE)]
+MODEL = ["asap"]
 
 
 def run_figure12():
@@ -22,7 +21,7 @@ def run_figure12():
     nacks = {}
     for threads in (4, 8):
         config = MachineConfig(num_cores=threads)
-        result = sweep(SUITE, MODEL, config, ops_per_thread=FIGURE_OPS)
+        result = bench_grid(SUITE, MODEL, config, ops_per_thread=FIGURE_OPS)
         for name in result.workloads:
             run = result.runs[(name, "asap")]
             machine_rts = run.result.stats.weighted_stats("rt_occupancy")

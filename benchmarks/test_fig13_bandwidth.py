@@ -8,9 +8,10 @@ overlaps them.  The paper reports ASAP at roughly 2x HOPS.
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads.microbench import BandwidthMicrobench
+
+from benchmarks.conftest import bench_grid
 
 OPS = 300
 THREADS = 4
@@ -18,20 +19,16 @@ CPU_GHZ = 2.0
 
 # eADR is omitted: with battery-backed caches the benchmark issues no
 # flush traffic at all, so "delivered persist bandwidth" is undefined.
-MODELS = [
-    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
-    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-]
+MODELS = ["baseline", "hops", "asap"]
 
 
 def run_figure13():
     config = MachineConfig(num_cores=THREADS)
-    result = sweep([BandwidthMicrobench], MODELS, config, ops_per_thread=OPS)
+    result = bench_grid([BandwidthMicrobench], MODELS, config, ops_per_thread=OPS)
     total_bytes = BandwidthMicrobench(ops_per_thread=OPS).bytes_written(THREADS)
     bandwidth = {}
     rows = []
-    for model in [m.name for m in MODELS]:
+    for model in MODELS:
         cycles = result.runs[("bandwidth", model)].result.drain_cycles
         seconds = cycles / (CPU_GHZ * 1e9)
         gbps = total_bytes / seconds / 1e9

@@ -15,16 +15,13 @@ trend its argument predicts.)
 import pytest
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads.microbench import BandwidthMicrobench
 from repro.workloads.dash import DashEH
 
-RP = PersistencyModel.RELEASE
-MODELS = [
-    ModelSpec("hops", HardwareModel.HOPS, RP),
-    ModelSpec("asap", HardwareModel.ASAP, RP),
-]
+from benchmarks.conftest import bench_grid
+
+MODELS = ["hops", "asap"]
 
 
 def run_mc_sweep():
@@ -32,7 +29,7 @@ def run_mc_sweep():
     advantage = {}
     for num_mcs in (1, 2, 4):
         config = MachineConfig(num_cores=4, num_mcs=num_mcs)
-        result = sweep(
+        result = bench_grid(
             [BandwidthMicrobench, DashEH], MODELS, config, ops_per_thread=150
         )
         for workload in ("bandwidth", "dash_eh"):

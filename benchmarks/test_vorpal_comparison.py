@@ -12,44 +12,37 @@ simplified Vorpal model in :mod:`repro.core.vorpal` the comparison runs:
 """
 
 from repro.analysis.report import render_table
-from repro.analysis.sweeps import ModelSpec, sweep
-from repro.sim.config import HardwareModel, MachineConfig, PersistencyModel
+from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 from repro.workloads.microbench import BandwidthMicrobench
 
-from benchmarks.conftest import geomean
+from benchmarks.conftest import bench_grid, geomean
 
-RP = PersistencyModel.RELEASE
-MODELS = [
-    ModelSpec("baseline", HardwareModel.BASELINE, RP),
-    ModelSpec("hops", HardwareModel.HOPS, RP),
-    ModelSpec("vorpal", HardwareModel.VORPAL, RP),
-    ModelSpec("asap", HardwareModel.ASAP, RP),
-]
+MODELS = ["baseline", "hops", "vorpal", "asap"]
 
 
 def run_vorpal_suite():
-    result = sweep(
+    result = bench_grid(
         SUITE, MODELS, MachineConfig(num_cores=4), ops_per_thread=100
     )
     rows = []
-    speedups = {m.name: [] for m in MODELS}
+    speedups = {m: [] for m in MODELS}
     for name in result.workloads:
         cells = [name]
-        for model in [m.name for m in MODELS]:
+        for model in MODELS:
             s = result.speedup(name, model)
             speedups[model].append(s)
             cells.append(f"{s:.2f}")
         rows.append(cells)
     rows.append(
-        ["geomean"] + [f"{geomean(speedups[m.name]):.2f}" for m in MODELS]
+        ["geomean"] + [f"{geomean(speedups[m]):.2f}" for m in MODELS]
     )
     # tag cost on one representative run
     run = result.runs[("dash_eh", "vorpal")].result
     tag_bits = run.stats.total("vorpal_tag_bits")
     persisted = run.stats.total("pm_write_bytes")
     table = render_table(
-        ["workload"] + [m.name for m in MODELS],
+        ["workload"] + list(MODELS),
         rows,
         title=(
             "Extension: Vorpal comparison, speedup over baseline "
@@ -77,16 +70,16 @@ def run_broadcast_sweep():
     rows = {}
     for period in (50, 100, 250, 500, 1000, 2000):
         config = MachineConfig(num_cores=4, vorpal_broadcast_cycles=period)
-        result = sweep(
+        result = bench_grid(
             [BandwidthMicrobench],
-            [ModelSpec("vorpal", HardwareModel.VORPAL, RP)],
+            ["vorpal"],
             config,
             ops_per_thread=150,
         )
         rows[period] = result.runs[("bandwidth", "vorpal")].result.drain_cycles
-    asap = sweep(
+    asap = bench_grid(
         [BandwidthMicrobench],
-        [ModelSpec("asap", HardwareModel.ASAP, RP)],
+        ["asap"],
         MachineConfig(num_cores=4),
         ops_per_thread=150,
     ).runs[("bandwidth", "asap")].result.drain_cycles

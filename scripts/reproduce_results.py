@@ -7,8 +7,14 @@ point for this reproduction: it runs the full Table III suite under all
 six models, prints the speedup table, draws an ASCII version of the
 figure, and (optionally) writes per-run gem5-style stats files.
 
+The grid executes through the :mod:`repro.exp` engine: ``--jobs N``
+fans the (workload, model) cells out over N worker processes, and
+``--cache-dir DIR`` re-uses deterministic results from earlier runs, so
+iterating on one model reruns only that model's cells.
+
 Usage:
     python scripts/reproduce_results.py [--ops N] [--threads N]
+                                        [--jobs N] [--cache-dir DIR]
                                         [--stats-dir DIR] [--quick]
 """
 
@@ -20,7 +26,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.analysis.report import render_table
 from repro.analysis.statsfile import write_stats
-from repro.analysis.sweeps import STANDARD_MODELS, sweep
+from repro.core.models import STANDARD_MODELS
+from repro.exp import run_grid
 from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
 
@@ -36,6 +43,10 @@ def main() -> int:
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--stats-dir", type=pathlib.Path,
                         help="also write per-run gem5-style stats files")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run grid cells across N worker processes")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        help="reuse deterministic results cached here")
     parser.add_argument("--quick", action="store_true",
                         help="smaller runs (ops=60) for a fast smoke pass")
     args = parser.parse_args()
@@ -44,7 +55,10 @@ def main() -> int:
     config = MachineConfig(num_cores=args.threads)
     print(f"running {len(SUITE)} workloads x {len(STANDARD_MODELS)} models "
           f"({args.threads} threads, {ops} ops/thread)...")
-    result = sweep(SUITE, STANDARD_MODELS, config, ops_per_thread=ops)
+    result = run_grid(
+        SUITE, STANDARD_MODELS, config, ops_per_thread=ops,
+        jobs=args.jobs, cache=args.cache_dir,
+    )
     model_names = [m.name for m in STANDARD_MODELS]
 
     rows = []

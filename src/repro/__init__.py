@@ -15,7 +15,10 @@ evaluated system as a discrete-event simulator:
   PMem API -- :mod:`repro.workloads`;
 - crash injection plus a machine-checked consistency verifier for the
   paper's Theorem 2 -- :mod:`repro.core.crash`, :mod:`repro.verify`;
-- analytical hardware-cost models for Table V -- :mod:`repro.analysis`.
+- analytical hardware-cost models for Table V -- :mod:`repro.analysis`;
+- the experiment engine: plans of content-hashed run specs, serial or
+  multi-process execution, deterministic result caching --
+  :mod:`repro.exp`.
 
 Quickstart::
 
@@ -50,6 +53,8 @@ from repro.core.api import (
 )
 from repro.core.crash import CrashState, crash_machine, run_and_crash
 from repro.core.machine import Machine, RunResult
+from repro.core.models import MODEL_REGISTRY, ModelSpec, resolve_model
+from repro.exp import ExperimentPlan, ResultCache, RunSpec, run_grid, run_plan
 from repro.sim.config import (
     HardwareModel,
     MachineConfig,
@@ -66,21 +71,29 @@ __all__ = [
     "Compute",
     "CrashState",
     "DFence",
+    "ExperimentPlan",
     "HardwareModel",
     "Load",
+    "MODEL_REGISTRY",
     "Machine",
     "MachineConfig",
+    "ModelSpec",
     "NewStrand",
     "OFence",
     "PMAllocator",
     "PersistencyModel",
     "Release",
+    "ResultCache",
     "RunConfig",
     "RunResult",
+    "RunSpec",
     "Store",
     "TABLE_II_CONFIG",
     "__version__",
     "check_consistency",
     "crash_machine",
+    "resolve_model",
     "run_and_crash",
+    "run_grid",
+    "run_plan",
 ]

@@ -3,8 +3,10 @@
 - :mod:`repro.analysis.cacti`  -- analytical CAM/SRAM cost model
   calibrated to the paper's CACTI 7 @ 22 nm numbers (Table V) plus the
   draining-energy comparison of Section VII-D.
-- :mod:`repro.analysis.sweeps` -- multi-model multi-workload experiment
-  driver with normalization helpers (speedup-vs-baseline and friends).
+- :mod:`repro.analysis.sweeps` -- compatibility shim over the
+  :mod:`repro.exp` experiment engine (plans, parallel executors,
+  deterministic result caching); keeps the historical ``sweep()`` entry
+  point and model-table re-exports working.
 - :mod:`repro.analysis.report` -- plain-text table/series rendering used
   by the benchmarks and EXPERIMENTS.md.
 """

@@ -1,109 +1,65 @@
-"""Experiment driver: run workloads across hardware models and normalize.
+"""Compatibility shim over the :mod:`repro.exp` experiment engine.
 
-All the figure benchmarks are built on :func:`sweep`, which runs a list
-of workloads under a list of model specs on a given machine configuration
-and returns runtimes, speedups, and the full per-run results for stat
-extraction.
+Historically every figure benchmark was built directly on
+:func:`sweep`, which ran the workload x model grid serially in-process.
+The execution machinery now lives in :mod:`repro.exp` (plans, pluggable
+serial/parallel executors, deterministic result caching); this module
+keeps the old import surface working:
+
+- :class:`ModelSpec`, :data:`STANDARD_MODELS`, :data:`RP_MODELS` are
+  re-exported from the canonical registry in :mod:`repro.core.models`.
+- :class:`SweepResult` is re-exported from :mod:`repro.exp.plan`.
+- :func:`sweep` builds an :class:`~repro.exp.plan.ExperimentPlan` and
+  runs it; new code should call :func:`repro.exp.run_grid` directly,
+  which also exposes ``jobs``/``cache``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Optional, Sequence, Type, Union
 
-from repro.sim.config import (
-    HardwareModel,
-    MachineConfig,
-    PersistencyModel,
-    RunConfig,
+from repro.core.models import (
+    MODEL_REGISTRY,
+    ModelSpec,
+    RP_MODELS,
+    STANDARD_MODELS,
+    resolve_model,
 )
-from repro.workloads.base import Workload, WorkloadResult, run_workload
-
-
-@dataclass(frozen=True)
-class ModelSpec:
-    """One evaluated design: a hardware model under a persistency model."""
-
-    name: str
-    hardware: HardwareModel
-    persistency: PersistencyModel
-
-    def run_config(self, **kwargs) -> RunConfig:
-        return RunConfig(
-            hardware=self.hardware, persistency=self.persistency, **kwargs
-        )
-
-
-#: the six designs of Figure 8, in presentation order.
-STANDARD_MODELS: List[ModelSpec] = [
-    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
-    ModelSpec("hops_ep", HardwareModel.HOPS, PersistencyModel.EPOCH),
-    ModelSpec("hops_rp", HardwareModel.HOPS, PersistencyModel.RELEASE),
-    ModelSpec("asap_ep", HardwareModel.ASAP, PersistencyModel.EPOCH),
-    ModelSpec("asap_rp", HardwareModel.ASAP, PersistencyModel.RELEASE),
-    ModelSpec("eadr", HardwareModel.EADR, PersistencyModel.RELEASE),
-]
-
-#: release-persistency-only comparison (Sections VII-B onward use RP).
-RP_MODELS: List[ModelSpec] = [
-    ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
-    ModelSpec("hops", HardwareModel.HOPS, PersistencyModel.RELEASE),
-    ModelSpec("asap", HardwareModel.ASAP, PersistencyModel.RELEASE),
-    ModelSpec("eadr", HardwareModel.EADR, PersistencyModel.RELEASE),
-]
-
-
-@dataclass
-class SweepResult:
-    """Results of one workload x model sweep."""
-
-    workloads: List[str]
-    models: List[str]
-    #: (workload, model) -> full run result.
-    runs: Dict[tuple, WorkloadResult] = field(default_factory=dict)
-
-    def runtime(self, workload: str, model: str) -> int:
-        return self.runs[(workload, model)].runtime_cycles
-
-    def speedup(self, workload: str, model: str, over: str = "baseline") -> float:
-        return self.runtime(workload, over) / self.runtime(workload, model)
-
-    def speedups(self, model: str, over: str = "baseline") -> List[float]:
-        return [self.speedup(w, model, over) for w in self.workloads]
-
-    def geomean_speedup(self, model: str, over: str = "baseline") -> float:
-        values = self.speedups(model, over)
-        product = 1.0
-        for value in values:
-            product *= value
-        return product ** (1.0 / len(values))
-
-    def stat(self, workload: str, model: str, name: str) -> int:
-        return self.runs[(workload, model)].stats.total(name)
+from repro.exp.cache import ResultCache
+from repro.exp.plan import SweepResult, run_grid
+from repro.sim.config import MachineConfig
+from repro.workloads.base import Workload
 
 
 def sweep(
     workload_classes: Sequence[Type[Workload]],
-    models: Sequence[ModelSpec],
+    models: Sequence[Union[str, ModelSpec]],
     config: Optional[MachineConfig] = None,
     ops_per_thread: int = 120,
     num_threads: Optional[int] = None,
     seed: int = 7,
+    jobs: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str]] = None,
 ) -> SweepResult:
-    """Run every workload under every model."""
-    config = config or MachineConfig()
-    result = SweepResult(
-        workloads=[cls.name for cls in workload_classes],
-        models=[m.name for m in models],
+    """Run every workload under every model (legacy entry point)."""
+    return run_grid(
+        workload_classes,
+        models,
+        machine=config,
+        ops_per_thread=ops_per_thread,
+        num_threads=num_threads,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
-    for cls in workload_classes:
-        for model in models:
-            workload = cls(ops_per_thread=ops_per_thread, seed=seed)
-            run = run_workload(
-                workload, config, model.run_config(), num_threads=num_threads
-            )
-            result.runs[(cls.name, model.name)] = run
-    return result
 
 
-__all__ = ["ModelSpec", "RP_MODELS", "STANDARD_MODELS", "SweepResult", "sweep"]
+__all__ = [
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "RP_MODELS",
+    "STANDARD_MODELS",
+    "SweepResult",
+    "resolve_model",
+    "sweep",
+]

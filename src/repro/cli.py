@@ -10,6 +10,12 @@ workflow:
 - ``crash``   -- crash a workload at a chosen cycle and print the
   Theorem 2 consistency report.
 - ``list``    -- enumerate workloads and models.
+
+Model names come from the canonical registry
+(:data:`repro.core.models.MODEL_REGISTRY`); ``run`` and ``compare``
+execute through the :mod:`repro.exp` engine, so both understand
+``--jobs N`` (process fan-out) and ``--cache-dir DIR`` (deterministic
+result reuse).
 """
 
 from __future__ import annotations
@@ -20,39 +26,32 @@ from typing import List, Optional
 
 from repro.analysis.report import render_table
 from repro.analysis.statsfile import format_stats, write_stats
-from repro.analysis.sweeps import ModelSpec, STANDARD_MODELS, sweep
 from repro.core.api import PMAllocator
 from repro.core.crash import run_and_crash
-from repro.core.machine import Machine
-from repro.sim.config import (
-    HardwareModel,
-    MachineConfig,
-    PersistencyModel,
-    RunConfig,
+from repro.core.models import (
+    MODEL_ALIASES,
+    MODEL_REGISTRY,
+    STANDARD_MODELS,
+    resolve_model,
 )
+from repro.exp import ResultCache, RunSpec, run_grid, run_plan, ExperimentPlan
+from repro.sim.config import MachineConfig
 from repro.verify import check_consistency
-from repro.workloads import get_workload, run_workload, workload_names
+from repro.workloads import get_workload, workload_names
 from repro.workloads.registry import MICROBENCHES, SUITE
 
-MODEL_CHOICES = {
-    "baseline": (HardwareModel.BASELINE, PersistencyModel.RELEASE),
-    "hops_ep": (HardwareModel.HOPS, PersistencyModel.EPOCH),
-    "hops_rp": (HardwareModel.HOPS, PersistencyModel.RELEASE),
-    "asap_ep": (HardwareModel.ASAP, PersistencyModel.EPOCH),
-    "asap_rp": (HardwareModel.ASAP, PersistencyModel.RELEASE),
-    "eadr": (HardwareModel.EADR, PersistencyModel.RELEASE),
-    "vorpal": (HardwareModel.VORPAL, PersistencyModel.RELEASE),
-    "asap_no_undo": (HardwareModel.ASAP_NO_UNDO, PersistencyModel.RELEASE),
-}
+
+# Aliases ("hops", "asap") resolve to their _rp designs, so accept them
+# anywhere a canonical registry name is accepted.
+_MODEL_CHOICE_NAMES = list(MODEL_REGISTRY) + list(MODEL_ALIASES)
 
 
 def _machine_config(args) -> MachineConfig:
     return MachineConfig(num_cores=args.threads, num_mcs=args.mcs)
 
 
-def _run_config(model: str, seed: int) -> RunConfig:
-    hardware, persistency = MODEL_CHOICES[model]
-    return RunConfig(hardware=hardware, persistency=persistency, seed=seed)
+def _cache(args) -> Optional[ResultCache]:
+    return ResultCache(args.cache_dir) if args.cache_dir else None
 
 
 def cmd_list(_args) -> int:
@@ -63,17 +62,21 @@ def cmd_list(_args) -> int:
     for cls in MICROBENCHES:
         print(f"  {cls.name:12s} [{cls.category}]")
     print("models:")
-    for name in MODEL_CHOICES:
+    for name in MODEL_REGISTRY:
         print(f"  {name}")
     return 0
 
 
 def cmd_run(args) -> int:
-    workload = get_workload(args.workload, ops_per_thread=args.ops,
-                            seed=args.seed)
-    result = run_workload(
-        workload, _machine_config(args), _run_config(args.model, args.seed)
+    spec = RunSpec(
+        args.workload,
+        args.model,
+        machine=_machine_config(args),
+        ops_per_thread=args.ops,
+        seed=args.seed,
     )
+    outcome = run_plan(ExperimentPlan([spec]), cache=_cache(args))
+    result = outcome.results[0]
     text = format_stats(result.result)
     if args.stats:
         write_stats(result.result, args.stats)
@@ -84,18 +87,27 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    names = args.workloads or workload_names()
-    classes = [type(get_workload(name)) for name in names]
+    names: List[str] = []
+    for name in args.workloads or []:
+        # group alias: "microbench" expands to the whole microbench set
+        if name in ("microbench", "micro"):
+            names.extend(cls.name for cls in MICROBENCHES)
+        else:
+            names.append(name)
+    names = names or workload_names()
     models = (
         STANDARD_MODELS
         if not args.models
-        else [
-            ModelSpec(m, *MODEL_CHOICES[m]) for m in args.models
-        ]
+        else [resolve_model(m) for m in args.models]
     )
-    result = sweep(
-        classes, models, _machine_config(args),
-        ops_per_thread=args.ops, seed=args.seed,
+    result = run_grid(
+        names,
+        models,
+        machine=_machine_config(args),
+        ops_per_thread=args.ops,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_cache(args),
     )
     model_names = [m.name for m in models]
     baseline = model_names[0]
@@ -124,9 +136,9 @@ def cmd_crash(args) -> int:
                             seed=args.seed)
     heap = PMAllocator()
     programs = workload.programs(heap, args.threads)
+    run_config = resolve_model(args.model).run_config(seed=args.seed)
     state = run_and_crash(
-        _machine_config(args), _run_config(args.model, args.seed),
-        programs, args.at,
+        _machine_config(args), run_config, programs, args.at,
     )
     report = check_consistency(state.log, state.media)
     survived = sum(1 for v in state.media.values() if v)
@@ -152,13 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--ops", type=int, default=100,
                        help="operations per thread")
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="reuse deterministic results cached here")
 
     p_list = sub.add_parser("list", help="list workloads and models")
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser("run", help="run one workload on one model")
     p_run.add_argument("workload")
-    p_run.add_argument("--model", choices=MODEL_CHOICES, default="asap_rp")
+    p_run.add_argument("--model", choices=_MODEL_CHOICE_NAMES,
+                       default="asap_rp")
     p_run.add_argument("--stats", help="write gem5-style stats.txt here")
     common(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -166,14 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="speedup table across models")
     p_cmp.add_argument("--workloads", nargs="*",
                        help="default: the full Table III suite")
-    p_cmp.add_argument("--models", nargs="*", choices=MODEL_CHOICES,
+    p_cmp.add_argument("--models", nargs="*", choices=_MODEL_CHOICE_NAMES,
                        help="first one is the normalization baseline")
+    p_cmp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="run grid cells across N worker processes")
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")
-    p_crash.add_argument("--model", choices=MODEL_CHOICES, default="asap_rp")
+    p_crash.add_argument("--model", choices=_MODEL_CHOICE_NAMES,
+                         default="asap_rp")
     p_crash.add_argument("--at", type=int, required=True,
                          help="crash cycle")
     common(p_crash)

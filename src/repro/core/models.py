@@ -27,10 +27,15 @@ which is handled in :mod:`repro.core.machine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Union
 
-from repro.sim.config import HardwareModel, MachineConfig
+from repro.sim.config import (
+    HardwareModel,
+    MachineConfig,
+    PersistencyModel,
+    RunConfig,
+)
 from repro.sim.engine import Engine, ns_to_cycles
 from repro.sim.stats import StatsRegistry
 from repro.core.epoch import EpochEntry, EpochId
@@ -42,6 +47,99 @@ from repro.core.persist_buffer import (
     make_eager_policy,
     select_fifo_any,
 )
+
+
+# ---------------------------------------------------------------------------
+# model registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One evaluated design: a hardware model under a persistency model.
+
+    Instances are frozen and hashable, so a spec can key result caches
+    and travel across process boundaries unchanged.
+    """
+
+    name: str
+    hardware: HardwareModel
+    persistency: PersistencyModel
+
+    def run_config(self, **kwargs) -> RunConfig:
+        return RunConfig(
+            hardware=self.hardware, persistency=self.persistency, **kwargs
+        )
+
+    def renamed(self, name: str) -> "ModelSpec":
+        """The same design under a different display name (figure labels
+        sometimes drop the persistency suffix, e.g. ``asap_rp`` -> ``asap``)."""
+        return replace(self, name=name)
+
+
+#: The canonical model table: every design the CLI, the sweeps, and the
+#: benchmarks may name.  This is the ONLY place a (name, hardware,
+#: persistency) triple is spelled out.
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec("baseline", HardwareModel.BASELINE, PersistencyModel.RELEASE),
+        ModelSpec("hops_ep", HardwareModel.HOPS, PersistencyModel.EPOCH),
+        ModelSpec("hops_rp", HardwareModel.HOPS, PersistencyModel.RELEASE),
+        ModelSpec("asap_ep", HardwareModel.ASAP, PersistencyModel.EPOCH),
+        ModelSpec("asap_rp", HardwareModel.ASAP, PersistencyModel.RELEASE),
+        ModelSpec("eadr", HardwareModel.EADR, PersistencyModel.RELEASE),
+        ModelSpec("vorpal", HardwareModel.VORPAL, PersistencyModel.RELEASE),
+        ModelSpec(
+            "asap_no_undo", HardwareModel.ASAP_NO_UNDO, PersistencyModel.RELEASE
+        ),
+    )
+}
+
+#: Display aliases used by the release-persistency figures, resolved to
+#: registry entries (the design is identical; only the label differs).
+MODEL_ALIASES: Dict[str, str] = {
+    "hops": "hops_rp",
+    "asap": "asap_rp",
+}
+
+#: the six designs of Figure 8, in presentation order.
+STANDARD_MODELS: List[ModelSpec] = [
+    MODEL_REGISTRY[name]
+    for name in ("baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr")
+]
+
+#: release-persistency-only comparison (Sections VII-B onward use RP).
+RP_MODELS: List[ModelSpec] = [
+    MODEL_REGISTRY["baseline"],
+    MODEL_REGISTRY["hops_rp"].renamed("hops"),
+    MODEL_REGISTRY["asap_rp"].renamed("asap"),
+    MODEL_REGISTRY["eadr"],
+]
+
+
+def model_names() -> List[str]:
+    """Canonical model names, in registry (presentation) order."""
+    return list(MODEL_REGISTRY)
+
+
+def resolve_model(model: Union[str, ModelSpec]) -> ModelSpec:
+    """Resolve a model name (or pass a spec through) to a :class:`ModelSpec`.
+
+    Accepts canonical registry names, the RP display aliases (``hops``,
+    ``asap``), and pre-built specs (returned unchanged, so callers may
+    carry custom display names).
+    """
+    if isinstance(model, ModelSpec):
+        return model
+    spec = MODEL_REGISTRY.get(model)
+    if spec is not None:
+        return spec
+    alias = MODEL_ALIASES.get(model)
+    if alias is not None:
+        return MODEL_REGISTRY[alias].renamed(model)
+    raise KeyError(
+        f"unknown model {model!r}; available: {sorted(MODEL_REGISTRY)}"
+    )
 
 
 @dataclass
@@ -544,7 +642,14 @@ __all__ = [
     "BufferedPath",
     "EADRPath",
     "HOPSPath",
+    "MODEL_ALIASES",
+    "MODEL_REGISTRY",
+    "ModelSpec",
     "PersistencePath",
+    "RP_MODELS",
+    "STANDARD_MODELS",
     "Transport",
     "VorpalPath",
+    "model_names",
+    "resolve_model",
 ]

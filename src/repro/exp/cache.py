@@ -1,0 +1,117 @@
+"""Deterministic on-disk result cache.
+
+Results are stored content-addressed: the filename is the
+:meth:`~repro.exp.spec.RunSpec.key` SHA-256 of the spec, so a cache
+entry can never be served for a spec it does not exactly match (any
+change to the machine config, model, workload, knobs, or seed changes
+the key).  Each entry is the pickled :class:`~repro.workloads.base.
+WorkloadResult` plus a human-readable ``.json`` sidecar describing the
+spec that produced it.
+
+Writes are atomic (tmp file + ``os.replace``), so concurrent workers
+and concurrent *processes* may share one cache directory: the worst
+case is two processes computing the same cell and one harmlessly
+overwriting the other's identical entry.
+
+Because every simulation is deterministic given its spec, a cache hit
+is indistinguishable from a fresh run -- same ``runtime_cycles``, same
+stats, same epoch log.  The determinism suite asserts this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Optional, Union
+
+from repro.exp.spec import RunSpec
+from repro.workloads.base import WorkloadResult
+
+
+class ResultCache:
+    """Content-addressed store of completed experiment cells."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths --------------------------------------------------------------
+
+    def _result_path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._result_path(spec.key()).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[WorkloadResult]:
+        """Return the cached result for ``spec``, or None on a miss.
+
+        A corrupt/truncated entry (e.g. a killed writer on a filesystem
+        without atomic replace) is treated as a miss and removed.
+        """
+        path = self._result_path(spec.key())
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # pickle.load raises opcode-dependent exceptions on garbage
+            # bytes (ValueError, UnpicklingError, EOFError, ...); any
+            # unreadable entry degrades to a miss and is evicted.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: WorkloadResult) -> None:
+        key = spec.key()
+        self._atomic_write(
+            self._result_path(key), pickle.dumps(result, protocol=4)
+        )
+        meta = dict(spec.describe(), label=spec.label())
+        self._atomic_write(
+            self._meta_path(key),
+            json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def _atomic_write(self, path: pathlib.Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of results removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+        return removed
+
+
+__all__ = ["ResultCache"]

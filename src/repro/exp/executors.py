@@ -1,0 +1,82 @@
+"""Pluggable execution backends for experiment plans.
+
+An executor maps a pure function over a list of items and returns the
+results *in input order*.  Two implementations:
+
+- :class:`SerialExecutor` -- runs in-process, one item at a time.  Zero
+  overhead; the default, and the reference semantics.
+- :class:`ParallelExecutor` -- fans items out over a
+  ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers.
+  Simulation cells are CPU-bound pure Python, so processes (not threads)
+  are the only way to use more than one core.
+
+Because every cell is deterministic given its :class:`~repro.exp.spec.
+RunSpec`, the two executors are interchangeable: same plan, same
+results, different wall-clock (see ``tests/exp/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """Run every item in the calling process, in order."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan items out across ``jobs`` worker processes.
+
+    ``fn`` and every item must be picklable (RunSpec and WorkloadResult
+    are, by design).  Results come back in input order regardless of
+    completion order, so parallel runs are drop-in replacements for
+    serial ones.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs or os.cpu_count() or 1
+        if self.jobs < 1:
+            raise ValueError(f"need at least one worker, got {jobs}")
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        # A pool wider than the work list just burns fork latency.
+        workers = min(self.jobs, len(items))
+        if workers == 1:
+            return [fn(item) for item in items]
+        # Chunk to amortize per-task IPC, but keep at least ~4 chunks per
+        # worker in flight so uneven cell runtimes still balance.
+        chunksize = max(1, len(items) // (workers * 4))
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def make_executor(jobs: Optional[int] = None):
+    """``jobs`` semantics shared by the CLI and the drivers:
+
+    ``None``/``0``/``1`` -> serial; ``N > 1`` -> N worker processes.
+    """
+    if jobs is None or jobs in (0, 1):
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+__all__ = ["ParallelExecutor", "SerialExecutor", "make_executor"]

@@ -1,0 +1,164 @@
+"""Fully-specified experiment cells.
+
+A :class:`RunSpec` pins down everything that determines one simulation
+run: the workload (by canonical registry name), the evaluated design
+(a :class:`~repro.core.models.ModelSpec`), the machine, the per-run
+knobs, and the seed.  Two properties make the whole `repro.exp`
+subsystem work:
+
+1. **Content addressability** -- :meth:`RunSpec.key` hashes every field
+   that can influence the result, so an on-disk cache entry is valid iff
+   its key matches (see :mod:`repro.exp.cache`).
+2. **Process portability** -- a spec is a frozen dataclass of plain
+   values (names, enums, frozen configs), so it pickles cleanly into a
+   ``ProcessPoolExecutor`` worker and back.
+
+``RunSpec`` is *the* one way to build a run: it accepts a workload name
+or class and a model name or spec, and it threads ``seed`` /
+``ops_per_thread`` / ``num_threads`` uniformly into both the workload
+RNG and the simulator's :class:`~repro.sim.config.RunConfig` (the old
+``sweep()`` path seeded only the workload).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Type, Union
+
+from repro.core.models import ModelSpec, resolve_model
+from repro.sim.config import MachineConfig, RunConfig
+from repro.workloads.base import Workload, WorkloadResult, run_workload
+from repro.workloads.registry import get_workload
+
+#: Bump whenever the simulator's semantics change in a way that
+#: invalidates previously cached results (it participates in the key).
+SPEC_SCHEMA_VERSION = 1
+
+
+def _resolve_workload_name(workload: Union[str, Type[Workload]]) -> str:
+    """Normalize a workload class or name to its canonical registry name."""
+    if isinstance(workload, str):
+        get_workload(workload)  # raises KeyError with the available names
+        return workload
+    if isinstance(workload, type) and issubclass(workload, Workload):
+        name = workload.name
+        registered = type(get_workload(name))
+        if registered is not workload:
+            raise ValueError(
+                f"workload class {workload.__name__} is not the registered "
+                f"implementation of {name!r}; register it in "
+                "repro.workloads.registry before building a RunSpec"
+            )
+        return name
+    raise TypeError(f"workload must be a name or Workload class: {workload!r}")
+
+
+def _jsonable(value):
+    """Reduce a config value to deterministic JSON-serializable form."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot key a RunSpec containing {value!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified cell of an experiment grid."""
+
+    workload: str
+    model: ModelSpec
+    machine: MachineConfig = dataclasses.field(default_factory=MachineConfig)
+    ops_per_thread: Optional[int] = None
+    num_threads: Optional[int] = None
+    seed: int = 7
+
+    def __init__(
+        self,
+        workload: Union[str, Type[Workload]],
+        model: Union[str, ModelSpec],
+        machine: Optional[MachineConfig] = None,
+        ops_per_thread: Optional[int] = None,
+        num_threads: Optional[int] = None,
+        seed: int = 7,
+    ) -> None:
+        object.__setattr__(self, "workload", _resolve_workload_name(workload))
+        object.__setattr__(self, "model", resolve_model(model))
+        object.__setattr__(self, "machine", machine or MachineConfig())
+        object.__setattr__(self, "ops_per_thread", ops_per_thread)
+        object.__setattr__(self, "num_threads", num_threads)
+        object.__setattr__(self, "seed", seed)
+
+    # -- construction helpers ---------------------------------------------
+
+    def build_workload(self) -> Workload:
+        return get_workload(
+            self.workload, ops_per_thread=self.ops_per_thread, seed=self.seed
+        )
+
+    def run_config(self) -> RunConfig:
+        # seed flows into the simulator too, so workload RNG and
+        # simulator RNG always agree (the historical sweep() bug).
+        return self.model.run_config(seed=self.seed)
+
+    # -- identity -----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Deterministic, JSON-serializable identity of this spec.
+
+        The model's display name is deliberately excluded: ``hops`` and
+        ``hops_rp`` are the same design and must share a cache entry.
+        """
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "workload": self.workload,
+            "hardware": self.model.hardware.value,
+            "persistency": self.model.persistency.value,
+            "machine": _jsonable(self.machine),
+            "run_config": _jsonable(self.run_config()),
+            "ops_per_thread": self.ops_per_thread,
+            "num_threads": self.num_threads,
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        """Content hash identifying the result this spec produces."""
+        payload = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.model.name}@seed{self.seed}"
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self) -> WorkloadResult:
+        """Run this cell to completion in the current process."""
+        return run_workload(
+            self.build_workload(),
+            self.machine,
+            self.run_config(),
+            num_threads=self.num_threads,
+        )
+
+
+def execute_spec(spec: RunSpec) -> WorkloadResult:
+    """Module-level trampoline so executors can ship specs to workers."""
+    return spec.execute()
+
+
+__all__ = ["RunSpec", "SPEC_SCHEMA_VERSION", "execute_spec"]

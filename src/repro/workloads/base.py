@@ -63,7 +63,16 @@ class Workload:
 
 @dataclass
 class WorkloadResult:
-    """A workload run under one (hardware, persistency) configuration."""
+    """A workload run under one (hardware, persistency) configuration.
+
+    Results must stay **picklable**: the :mod:`repro.exp` engine ships
+    them back from ``ProcessPoolExecutor`` workers and stores them in
+    the on-disk result cache.  Everything reachable from here
+    (:class:`~repro.core.machine.RunResult`, the stats registry, the
+    epoch log) is plain data; keep it that way -- in particular, store
+    only plain values as op payloads, never closures or live simulator
+    objects.
+    """
 
     workload: str
     result: RunResult
@@ -75,6 +84,22 @@ class WorkloadResult:
     @property
     def stats(self):
         return self.result.stats
+
+    def stats_dict(self) -> Dict[str, int]:
+        """All counters, summed over scopes, as a plain dict."""
+        return self.result.stats.as_dict()
+
+    def fingerprint(self) -> tuple:
+        """Everything that must be identical between a fresh run and a
+        cache hit (or a serial and a parallel run) of the same spec."""
+        return (
+            self.workload,
+            self.result.runtime_cycles,
+            self.result.drain_cycles,
+            self.result.ops_executed,
+            tuple(self.result.per_core_runtime),
+            tuple(sorted(self.stats_dict().items())),
+        )
 
 
 def run_workload(
