@@ -49,4 +49,39 @@ def format_speedup(value: float) -> str:
     return f"{value:.2f}x"
 
 
-__all__ = ["format_speedup", "render_series", "render_table"]
+def stall_breakdown_table(summary: dict, title: str = "stall breakdown") -> str:
+    """Render a :meth:`repro.obs.StallProfiler.summary` as a text table.
+
+    One row per (core, epoch) that accrued stall cycles, one column per
+    stall reason, plus a closing ``total`` row so the table is never
+    empty even for a stall-free run.
+    """
+    reasons = sorted(summary.get("totals", {}))
+    by_epoch = summary.get("by_epoch", {})
+    headers = ["core:epoch"] + reasons + ["all"]
+
+    def row_for(label: str, cells: dict) -> List[object]:
+        values = [int(cells.get(reason, 0)) for reason in reasons]
+        return [label] + values + [sum(values)]
+
+    def sort_key(item):
+        core, _, epoch = item[0].partition(":")
+        return (
+            int(core) if core.isdigit() else -1,
+            int(epoch) if epoch.isdigit() else -1,
+            item[0],
+        )
+
+    rows = [row_for(label, cells) for label, cells in sorted(
+        by_epoch.items(), key=sort_key
+    )]
+    rows.append(row_for("total", summary.get("totals", {})))
+    return render_table(headers, rows, title=title)
+
+
+__all__ = [
+    "format_speedup",
+    "render_series",
+    "render_table",
+    "stall_breakdown_table",
+]

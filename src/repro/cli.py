@@ -9,6 +9,9 @@ workflow:
   (Figure 8 style).
 - ``crash``   -- crash a workload at a chosen cycle and print the
   Theorem 2 consistency report.
+- ``timeline`` -- run one workload with event tracing on and export a
+  Chrome-trace-format timeline (load it at https://ui.perfetto.dev)
+  plus a per-epoch stall breakdown.
 - ``list``    -- enumerate workloads and models.
 
 Model names come from the canonical registry
@@ -24,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import render_table
+from repro.analysis.report import render_table, stall_breakdown_table
 from repro.analysis.statsfile import format_stats, write_stats
 from repro.core.api import PMAllocator
 from repro.core.crash import run_and_crash
@@ -131,6 +134,42 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_timeline(args) -> int:
+    from repro.obs import JSONLSink, RingBufferSink, StallProfiler
+    from repro.obs.chrome import write_chrome_trace
+    from repro.workloads.base import run_workload
+
+    workload = get_workload(args.workload, ops_per_thread=args.ops,
+                            seed=args.seed)
+    run_config = resolve_model(args.model).run_config(seed=args.seed)
+    ring = RingBufferSink()
+    profiler = StallProfiler()
+    sinks = [ring, profiler]
+    jsonl = None
+    if args.events:
+        jsonl = JSONLSink(args.events)
+        sinks.append(jsonl)
+    try:
+        run_workload(
+            workload, _machine_config(args), run_config,
+            num_threads=args.threads, sinks=sinks,
+        )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    write_chrome_trace(ring.events, args.out)
+    print(f"wrote {args.out} ({ring.total_seen} events; open in Perfetto)")
+    if jsonl is not None:
+        print(f"wrote {args.events} ({jsonl.lines_written} JSONL events)")
+    print()
+    print(stall_breakdown_table(
+        profiler.summary(),
+        title=f"stall cycles by (core, epoch) -- {args.workload} on "
+              f"{args.model}",
+    ))
+    return 0
+
+
 def cmd_crash(args) -> int:
     workload = get_workload(args.workload, ops_per_thread=args.ops,
                             seed=args.seed)
@@ -187,6 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run grid cells across N worker processes")
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="trace a run and export a Perfetto-viewable timeline",
+    )
+    p_tl.add_argument("workload")
+    p_tl.add_argument("--model", choices=_MODEL_CHOICE_NAMES,
+                      default="asap_rp")
+    p_tl.add_argument("--out", default="timeline.json",
+                      help="Chrome-trace-format output path")
+    p_tl.add_argument("--events", metavar="PATH",
+                      help="also write the raw event stream as JSONL here")
+    common(p_tl)
+    p_tl.set_defaults(func=cmd_timeline)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.obs.events import EventType
 from repro.sim.stats import StatsRegistry
 
 
@@ -31,6 +32,11 @@ class WriteBackBuffer:
         self.stats = stats
         self.scope = scope
         self._entries: List[WBBEntry] = []
+        #: optional :class:`repro.obs.Tracer` + owning core index, wired
+        #: by the machine assembler (the WBB itself has no engine handle;
+        #: the tracer stamps timestamps).
+        self.tracer = None
+        self.core = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -49,6 +55,10 @@ class WriteBackBuffer:
             return False
         self._entries.append(WBBEntry(line=line, pb_seq=pb_seq))
         self.stats.inc("wbb_holds", scope=self.scope)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.WBB_HOLD, "wbb", core=self.core, line=line,
+            )
         return True
 
     def release_upto(self, flushed_seq: int) -> List[int]:
@@ -56,6 +66,11 @@ class WriteBackBuffer:
         ripe = [e.line for e in self._entries if e.pb_seq <= flushed_seq]
         if ripe:
             self._entries = [e for e in self._entries if e.pb_seq > flushed_seq]
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.WBB_RELEASE, "wbb", core=self.core,
+                    value=len(ripe),
+                )
         return ripe
 
     def holds(self, line: int) -> bool:

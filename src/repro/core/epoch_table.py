@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.events import EventType
 from repro.sim.engine import Engine, Waiter  # noqa: F401  (Engine in API)
 from repro.sim.stats import StatsRegistry
 from repro.core.epoch import EpochEntry, EpochId
@@ -50,6 +51,8 @@ class EpochTable:
         self._committed_sparse: set = set()
         self._strand_counter = 0
         self.entries[1] = EpochEntry(ts=1, prev=None, strand=0)
+        #: optional :class:`repro.obs.Tracer`; None = tracing off.
+        self.tracer = None
         self.space_waiter = Waiter(engine)
         self._commit_waiters: List[Tuple[int, Callable[[], None]]] = []
 
@@ -167,6 +170,10 @@ class EpochTable:
         if entry is None:
             return  # epoch already retired
         entry.dep_resolved = True
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.DEP_RESOLVED, "et", core=self.core, epoch=ts,
+            )
         self.maybe_commit(ts)
         self.on_progress()
 
@@ -219,6 +226,10 @@ class EpochTable:
         self._mark_committed(entry.ts)
         del self.entries[entry.ts]
         self.stats.inc("epochs_committed", scope=self.scope)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.EPOCH_COMMIT, "et", core=self.core, epoch=entry.ts,
+            )
         for dependent in entry.dependents:
             self.send_cdr(dependent)
         if not self.over_capacity:

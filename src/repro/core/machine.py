@@ -29,6 +29,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
+from repro.obs.events import EventType
+from repro.obs.tracer import Tracer
 from repro.sim.config import (
     HardwareModel,
     MachineConfig,
@@ -113,6 +115,12 @@ class _CoreUnit:
             self._end()
             return
         self.ops_executed += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                EventType.OP_RETIRED, "core", core=self.index,
+                kind=type(op).__name__.lower(),
+            )
         self.machine.dispatch(self, op)
 
     def _end(self) -> None:
@@ -155,10 +163,18 @@ class Machine:
         self,
         config: MachineConfig,
         run_config: Optional[RunConfig] = None,
+        sinks: Optional[Iterable[object]] = None,
     ) -> None:
         self.config = config
         self.run_config = run_config or RunConfig()
         self.engine = Engine()
+        #: Observability tracer (None unless event sinks were supplied;
+        #: every emission site guards on ``tracer is not None`` so the
+        #: untraced fast path stays a single attribute check).
+        sinks = list(sinks) if sinks is not None else []
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.engine, sinks) if sinks else None
+        )
         self.stats = StatsRegistry()
         self.amap = AddressMap(
             config.num_mcs, config.interleave_bytes, config.l1.line_bytes
@@ -193,6 +209,8 @@ class Machine:
         self._build_controllers(hardware)
         self._build_paths(hardware)
         self._build_caches()
+        if self.tracer is not None:
+            self._attach_tracer()
         self.cores: List[_CoreUnit] = []
 
     # ------------------------------------------------------------------
@@ -293,6 +311,26 @@ class Machine:
             path = self.paths[core]
             if path.has_persist_buffer:
                 path.pb.on_head_advance = self._make_head_advance(core)
+
+    def _attach_tracer(self) -> None:
+        """Wire the tracer into every component that emits events.
+
+        Components default to ``tracer = None``; this keeps construction
+        free of observability arguments and makes the traced/untraced
+        decision a single post-assembly pass."""
+        tracer = self.tracer
+        for path in self.paths:
+            path.attach_tracer(tracer)
+        for mc in self.mcs:
+            mc.tracer = tracer
+            mc.wpq.tracer = tracer
+            mc.wpq.mc = mc.index
+            if mc.recovery_table is not None:
+                mc.recovery_table.tracer = tracer
+                mc.recovery_table.mc = mc.index
+        for core, wbb in enumerate(self.wbbs):
+            wbb.tracer = tracer
+            wbb.core = core
 
     def _demand_read_latency(self, line: int) -> int:
         self.stats.inc("pm_demand_reads")
@@ -401,6 +439,11 @@ class Machine:
         assert registered, "source committed within the same event"
         self.log.record_dep(source, (dependent_core, new_ts))
         self.stats.inc("interTEpochConflict")
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.DEP_ESTABLISHED, "core", core=dependent_core,
+                epoch=new_ts, value=src_core,
+            )
 
     def _maybe_cross_strand_dep(self, core: int, line: int) -> None:
         """Strong persist atomicity *within* a thread, across strands.
@@ -482,9 +525,22 @@ class Machine:
             )
         elif isinstance(op, DFence):
             self.stats.inc("dfences", scope=f"core{core.index}")
-            self.paths[core.index].on_dfence(
-                lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
-            )
+            if self.tracer is None:
+                self.paths[core.index].on_dfence(
+                    lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
+                )
+            else:
+                self.tracer.emit(
+                    EventType.DFENCE_BEGIN, "core", core=core.index
+                )
+
+                def dfence_done() -> None:
+                    self.tracer.emit(
+                        EventType.DFENCE_END, "core", core=core.index
+                    )
+                    self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
+
+                self.paths[core.index].on_dfence(dfence_done)
         elif isinstance(op, Acquire):
             self._do_acquire(core, op)
         elif isinstance(op, Release):

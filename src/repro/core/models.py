@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.obs.events import EventType, StallReason
 from repro.sim.config import (
     HardwareModel,
     MachineConfig,
@@ -182,6 +183,16 @@ class PersistencePath:
         self.core = core
         self.scope = f"core{core}"
         self._ts = 1
+        #: optional :class:`repro.obs.Tracer`; None = tracing off.
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire an observability tracer into this path's components.
+
+        Subclasses extend this to reach their persist buffer / epoch
+        table.  Attaching must happen before the machine runs; it never
+        alters simulated behaviour (pure observation)."""
+        self.tracer = tracer
 
     # -- epoch bookkeeping ------------------------------------------------
 
@@ -284,6 +295,10 @@ class BaselinePath(PersistencePath):
         self.pb.select_entry = select_fifo_any
         self.pb.send_flush = transport.flush
 
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        self.pb.tracer = tracer
+
     def on_store(self, line: int, write_id: int, done: Callable[[], None]) -> None:
         self._enqueue(line, write_id, done, stall_started=None)
 
@@ -293,6 +308,11 @@ class BaselinePath(PersistencePath):
     ) -> None:
         outcome = self.pb.enqueue(line, write_id, self._ts)
         if outcome is EnqueueResult.FULL:
+            if stall_started is None and self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_BEGIN, "core", core=self.core,
+                    epoch=self._ts, reason=StallReason.PB_FULL,
+                )
             started = stall_started if stall_started is not None else self.engine.now
             self.pb.space_waiter.wait(
                 lambda: self._enqueue(line, write_id, done, started)
@@ -302,17 +322,41 @@ class BaselinePath(PersistencePath):
             self.stats.inc(
                 "cyclesStalled", self.engine.now - stall_started, scope=self.scope
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "core", core=self.core,
+                    epoch=self._ts, reason=StallReason.PB_FULL,
+                    dur=self.engine.now - stall_started,
+                )
         done()
+
+    #: drain-stat name -> the stall-attribution reason it maps to.
+    _DRAIN_REASONS = {
+        "sfenceStalled": StallReason.SFENCE,
+        "dfenceStalled": StallReason.DFENCE,
+    }
 
     def _drain_then(self, done: Callable[[], None], stat: str) -> None:
         if self.pb.empty:
             done()
             return
         started = self.engine.now
+        epoch = self._ts
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.STALL_BEGIN, "core", core=self.core, epoch=epoch,
+                reason=self._DRAIN_REASONS[stat],
+            )
 
         def finish() -> None:
             if self.pb.empty:
                 self.stats.inc(stat, self.engine.now - started, scope=self.scope)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventType.STALL_END, "core", core=self.core,
+                        epoch=epoch, reason=self._DRAIN_REASONS[stat],
+                        dur=self.engine.now - started,
+                    )
                 done()
             else:
                 self.pb.drain_waiter.wait(finish)
@@ -365,6 +409,11 @@ class BufferedPath(PersistencePath):
         self.pb.on_acked = lambda entry: self.et.on_write_acked(entry.epoch_ts)
         self.et.on_progress = self._on_progress
 
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        self.pb.tracer = tracer
+        self.et.tracer = tracer
+
     # epoch numbering is delegated to the epoch table ----------------------
 
     @property
@@ -400,6 +449,11 @@ class BufferedPath(PersistencePath):
     ) -> None:
         outcome = self.pb.enqueue(line, write_id, self.current_ts)
         if outcome is EnqueueResult.FULL:
+            if stall_started is None and self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_BEGIN, "core", core=self.core,
+                    epoch=self.current_ts, reason=StallReason.PB_FULL,
+                )
             started = stall_started if stall_started is not None else self.engine.now
             self.pb.space_waiter.wait(
                 lambda: self._enqueue(line, write_id, done, started)
@@ -413,18 +467,41 @@ class BufferedPath(PersistencePath):
             self.stats.inc(
                 "cyclesStalled", self.engine.now - stall_started, scope=self.scope
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "core", core=self.core,
+                    epoch=self.current_ts, reason=StallReason.PB_FULL,
+                    dur=self.engine.now - stall_started,
+                )
         done()
 
     def on_ofence(self, done: Callable[[], None]) -> None:
         self.split_epoch()
         self._wait_et_space(done)
 
-    def _wait_et_space(self, done: Callable[[], None]) -> None:
+    def _wait_et_space(
+        self, done: Callable[[], None], _started: Optional[int] = None
+    ) -> None:
         if not self.et.over_capacity:
+            if _started is not None and self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "core", core=self.core,
+                    epoch=self.current_ts, reason=StallReason.ET_FULL,
+                    dur=self.engine.now - _started,
+                )
             done()
         else:
             self.stats.inc("et_full_stalls", scope=self.scope)
-            self.et.space_waiter.wait(lambda: self._wait_et_space(done))
+            if _started is None:
+                _started = self.engine.now
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventType.STALL_BEGIN, "core", core=self.core,
+                        epoch=self.current_ts, reason=StallReason.ET_FULL,
+                    )
+            self.et.space_waiter.wait(
+                lambda: self._wait_et_space(done, _started)
+            )
 
     def on_dfence(self, done: Callable[[], None]) -> None:
         closed_ts = self.et.close_current()
@@ -434,10 +511,21 @@ class BufferedPath(PersistencePath):
             self.stats.inc(
                 "dfenceStalled", self.engine.now - started, scope=self.scope
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "core", core=self.core,
+                    epoch=closed_ts, reason=StallReason.DFENCE,
+                    dur=self.engine.now - started,
+                )
             done()
 
         if self.et.wait_for_commit(closed_ts, resume):
             done()
+        elif self.tracer is not None:
+            self.tracer.emit(
+                EventType.STALL_BEGIN, "core", core=self.core,
+                epoch=closed_ts, reason=StallReason.DFENCE,
+            )
 
     def on_release_boundary(self, done: Callable[[], None]) -> None:
         # Buffered designs track the dependency instead of draining; the

@@ -28,6 +28,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.events import EventType, StallReason
 from repro.sim.engine import Engine, Waiter
 from repro.sim.stats import StatsRegistry
 
@@ -90,6 +91,11 @@ class PersistBuffer:
         self._port_busy = False
         self._inflight = 0
         self._blocked_since: Optional[int] = None
+        #: epoch of the oldest waiting entry when blocking began, so the
+        #: eventual STALL_END can attribute the blocked interval.
+        self._blocked_epoch: Optional[int] = None
+        #: optional :class:`repro.obs.Tracer`; None = tracing off.
+        self.tracer = None
         self._occupancy = stats.weighted("pb_occupancy", capacity, scope=scope)
         #: conservative-fallback horizon: while set, the owning model's
         #: policy only issues safe flushes; cleared when the epoch commits.
@@ -150,6 +156,11 @@ class PersistBuffer:
             ):
                 entry.write_id = write_id
                 self.stats.inc("pb_coalesced", scope=self.scope)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventType.PB_COALESCE, "pb", core=self.core,
+                        epoch=epoch_ts, line=line,
+                    )
                 return EnqueueResult.COALESCED
         if self.full:
             return EnqueueResult.FULL
@@ -160,6 +171,11 @@ class PersistBuffer:
         self.entries.append(entry)
         self.stats.inc("entriesInserted", scope=self.scope)
         self._occupancy.update(self.engine.now, len(self.entries))
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.PB_ENQUEUE, "pb", core=self.core, epoch=epoch_ts,
+                line=line, value=len(self.entries),
+            )
         self._reassess()
         return EnqueueResult.ADDED
 
@@ -188,6 +204,12 @@ class PersistBuffer:
         entry.issued_early = self.classify_early(entry.epoch_ts)
         if entry.issued_early:
             self.stats.inc("totSpecWrites", scope=self.scope)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.PB_SPEC_FLUSH if entry.issued_early
+                else EventType.PB_FLUSH,
+                "pb", core=self.core, epoch=entry.epoch_ts, line=entry.line,
+            )
         self.on_issue(entry)
         self._update_blocked()
         self.engine.schedule(self.issue_cycles, self._port_free)
@@ -206,6 +228,11 @@ class PersistBuffer:
         self._inflight -= 1
         self.entries.remove(entry)
         self._occupancy.update(self.engine.now, len(self.entries))
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.PB_ACK, "pb", core=self.core, epoch=entry.epoch_ts,
+                line=entry.line, value=len(self.entries),
+            )
         self.on_acked(entry)
         self.on_head_advance(self._oldest_seq())
         self.space_waiter.wake()
@@ -218,6 +245,11 @@ class PersistBuffer:
         self._inflight -= 1
         entry.state = PBEntryState.NACK_WAIT
         self.stats.inc("pb_nacks", scope=self.scope)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.PB_NACK, "pb", core=self.core,
+                epoch=entry.epoch_ts, line=entry.line,
+            )
         self.on_nacked(entry)
         self._reassess()
 
@@ -242,10 +274,27 @@ class PersistBuffer:
         now = self.engine.now
         if blocked and self._blocked_since is None:
             self._blocked_since = now
+            if self.tracer is not None:
+                oldest = next(
+                    e for e in self.entries
+                    if e.state is not PBEntryState.INFLIGHT
+                )
+                self._blocked_epoch = oldest.epoch_ts
+                self.tracer.emit(
+                    EventType.STALL_BEGIN, "pb", core=self.core,
+                    epoch=self._blocked_epoch, reason=StallReason.PB_BLOCKED,
+                )
         elif not blocked and self._blocked_since is not None:
             self.stats.inc(
                 "cyclesBlocked", now - self._blocked_since, scope=self.scope
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "pb", core=self.core,
+                    epoch=self._blocked_epoch, reason=StallReason.PB_BLOCKED,
+                    dur=now - self._blocked_since,
+                )
+                self._blocked_epoch = None
             self._blocked_since = None
 
     def finish(self, now: int) -> None:
@@ -254,6 +303,13 @@ class PersistBuffer:
             self.stats.inc(
                 "cyclesBlocked", now - self._blocked_since, scope=self.scope
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventType.STALL_END, "pb", core=self.core,
+                    epoch=self._blocked_epoch, reason=StallReason.PB_BLOCKED,
+                    dur=now - self._blocked_since,
+                )
+                self._blocked_epoch = None
             self._blocked_since = None
         self._occupancy.finish(now)
 

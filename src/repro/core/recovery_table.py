@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.events import EventType
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
 
@@ -71,6 +72,10 @@ class RecoveryTable:
         self._delay: List[DelayRecord] = []
         self._occupancy = stats.weighted("rt_occupancy", capacity, scope=scope)
         self.max_occupancy = 0
+        #: optional :class:`repro.obs.Tracer` + owning MC index (for
+        #: controller-lane attribution); wired by the machine assembler.
+        self.tracer = None
+        self.mc: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -111,6 +116,11 @@ class RecoveryTable:
             line=line, safe_value=safe_value, core=core, epoch_ts=epoch_ts
         )
         self._note_occupancy()
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.UNDO_CREATE, "rt", mc=self.mc, core=core,
+                epoch=epoch_ts, line=line,
+            )
         return True
 
     def update_undo(self, line: int, safe_value: int) -> None:
@@ -148,6 +158,11 @@ class RecoveryTable:
         )
         self.stats.inc("delay_records_created", scope=self.scope)
         self._note_occupancy()
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.DELAY_CREATE, "rt", mc=self.mc, core=core,
+                epoch=epoch_ts, line=line,
+            )
         return True
 
     def supersede_delay(self, line: int, core: int, epoch_ts: int) -> int:

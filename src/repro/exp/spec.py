@@ -85,6 +85,11 @@ class RunSpec:
     ops_per_thread: Optional[int] = None
     num_threads: Optional[int] = None
     seed: int = 7
+    #: run with structured event tracing and attach a stall-attribution
+    #: summary to the result (see :mod:`repro.obs`).  Participates in the
+    #: cache key only when True, so every pre-existing untraced key is
+    #: unchanged.
+    events: bool = False
 
     def __init__(
         self,
@@ -94,6 +99,7 @@ class RunSpec:
         ops_per_thread: Optional[int] = None,
         num_threads: Optional[int] = None,
         seed: int = 7,
+        events: bool = False,
     ) -> None:
         object.__setattr__(self, "workload", _resolve_workload_name(workload))
         object.__setattr__(self, "model", resolve_model(model))
@@ -101,6 +107,7 @@ class RunSpec:
         object.__setattr__(self, "ops_per_thread", ops_per_thread)
         object.__setattr__(self, "num_threads", num_threads)
         object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "events", bool(events))
 
     # -- construction helpers ---------------------------------------------
 
@@ -122,7 +129,7 @@ class RunSpec:
         The model's display name is deliberately excluded: ``hops`` and
         ``hops_rp`` are the same design and must share a cache entry.
         """
-        return {
+        d = {
             "schema": SPEC_SCHEMA_VERSION,
             "workload": self.workload,
             "hardware": self.model.hardware.value,
@@ -133,6 +140,11 @@ class RunSpec:
             "num_threads": self.num_threads,
             "seed": self.seed,
         }
+        # Added conditionally so every untraced spec keeps the key it had
+        # before tracing existed (cached results stay valid).
+        if self.events:
+            d["events"] = True
+        return d
 
     def key(self) -> str:
         """Content hash identifying the result this spec produces."""
@@ -147,13 +159,32 @@ class RunSpec:
     # -- execution ----------------------------------------------------------
 
     def execute(self) -> WorkloadResult:
-        """Run this cell to completion in the current process."""
-        return run_workload(
+        """Run this cell to completion in the current process.
+
+        When :attr:`events` is set, the run is traced through a
+        :class:`repro.obs.StallProfiler` and the profiler's summary is
+        attached as ``result.obs`` (a plain dict, so the result still
+        pickles and caches).
+        """
+        if not self.events:
+            return run_workload(
+                self.build_workload(),
+                self.machine,
+                self.run_config(),
+                num_threads=self.num_threads,
+            )
+        from repro.obs import StallProfiler
+
+        profiler = StallProfiler()
+        result = run_workload(
             self.build_workload(),
             self.machine,
             self.run_config(),
             num_threads=self.num_threads,
+            sinks=[profiler],
         )
+        result.obs = profiler.summary()
+        return result
 
 
 def execute_spec(spec: RunSpec) -> WorkloadResult:

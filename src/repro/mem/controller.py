@@ -29,6 +29,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
+from repro.obs.events import EventType
 from repro.sim.engine import Engine, ns_to_cycles
 from repro.sim.config import CACHE_LINE_BYTES, MachineConfig
 from repro.sim.stats import StatsRegistry
@@ -130,6 +131,10 @@ class MemoryController:
         #: Vorpal mode: a coordinator that holds incoming flushes in an
         #: ordering queue until their vector-clock dependences are durable.
         self.vorpal = None
+        #: optional :class:`repro.obs.Tracer`; None = tracing off.  The
+        #: machine assembler wires it here and into the WPQ / recovery
+        #: table (see :meth:`repro.core.machine.Machine._attach_tracer`).
+        self.tracer = None
         self.nvm = NVMDevice(engine, config.nvm, stats, self.scope)
         self.wpq = WritePendingQueue(engine, config.wpq_entries, stats, self.scope)
         #: newest durable (ADR-domain) write id per line.
@@ -185,6 +190,12 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _process_flush(self, packet: FlushPacket) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.MC_FLUSH, "mc", mc=self.index, core=packet.core,
+                epoch=packet.epoch_ts, line=packet.line,
+                kind="early" if packet.early else "safe",
+            )
         if self.vorpal is not None:
             # Vorpal: every write waits in the ordering queue until the
             # coordinator can prove its happens-before set is durable.
@@ -304,6 +315,11 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _process_commit(self, message: CommitMessage) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.MC_COMMIT, "mc", mc=self.index, core=message.core,
+                epoch=message.epoch_ts,
+            )
         rt = self.recovery_table
         released: List[Tuple[int, int]] = []
         if rt is not None:

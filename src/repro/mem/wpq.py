@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.obs.events import EventType
 from repro.sim.engine import Engine, Waiter
 from repro.sim.stats import StatsRegistry
 
@@ -45,6 +46,10 @@ class WritePendingQueue:
         self.scope = scope
         self._entries: list[WPQEntry] = []
         self._by_line: Dict[int, WPQEntry] = {}
+        #: optional :class:`repro.obs.Tracer` + owning MC index, wired by
+        #: the machine assembler through the memory controller.
+        self.tracer = None
+        self.mc: Optional[int] = None
         self.space_waiter = Waiter(engine)
         self._occupancy = stats.weighted(f"wpq_occupancy", capacity, scope=scope)
 
@@ -89,6 +94,11 @@ class WritePendingQueue:
         if self._by_line.get(entry.line) is entry:
             del self._by_line[entry.line]
         self._occupancy.update(self.engine.now, len(self._entries))
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.WPQ_DRAIN, "wpq", mc=self.mc, line=entry.line,
+                value=len(self._entries),
+            )
         self.space_waiter.wake()
         return entry
 

@@ -76,6 +76,10 @@ class WorkloadResult:
 
     workload: str
     result: RunResult
+    #: observability summary (:meth:`repro.obs.StallProfiler.summary`)
+    #: when the run was traced; None otherwise.  Deliberately excluded
+    #: from :meth:`fingerprint` -- tracing must not change results.
+    obs: Optional[Dict] = None
 
     @property
     def runtime_cycles(self) -> int:
@@ -107,12 +111,19 @@ def run_workload(
     config: MachineConfig,
     run_config: RunConfig,
     num_threads: Optional[int] = None,
+    sinks: Optional[List] = None,
 ) -> WorkloadResult:
-    """Assemble a machine and run ``workload`` on it."""
+    """Assemble a machine and run ``workload`` on it.
+
+    ``sinks`` is an optional list of :class:`repro.obs.EventSink`
+    instances; supplying any turns on structured event tracing for the
+    run (see :mod:`repro.obs`).  Tracing never alters simulation
+    results.
+    """
     threads = num_threads or config.num_cores
     heap = PMAllocator()
     programs = workload.programs(heap, threads)
-    machine = Machine(config, run_config)
+    machine = Machine(config, run_config, sinks=sinks)
     result = machine.run(programs)
     return WorkloadResult(workload=workload.name, result=result)
 

@@ -12,6 +12,7 @@ path (identical results) is covered unconditionally by
 """
 
 import os
+import signal
 import time
 
 import pytest
@@ -20,6 +21,33 @@ from repro.core.models import STANDARD_MODELS
 from repro.exp import run_grid
 from repro.sim.config import MachineConfig
 from repro.workloads import SUITE
+
+# Wall-clock measurement over the full grid: opt in with `-m slow`.
+pytestmark = pytest.mark.slow
+
+#: hard cap per test; a wedged worker pool must fail, not hang CI.
+HARD_TIMEOUT_S = 600
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout():
+    """SIGALRM-based hard timeout (no pytest-timeout in the image)."""
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no guard available
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {HARD_TIMEOUT_S}s hard timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _available_cpus() -> int:

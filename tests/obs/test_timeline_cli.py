@@ -1,0 +1,42 @@
+"""End-to-end test of ``repro timeline`` (the CI smoke path)."""
+
+import json
+
+from repro.cli import main
+
+
+def test_timeline_writes_perfetto_loadable_trace(tmp_path, capsys):
+    out = tmp_path / "timeline.json"
+    events = tmp_path / "events.jsonl"
+    rc = main([
+        "timeline", "queue", "--model", "asap_rp",
+        "--threads", "2", "--ops", "40",
+        "--out", str(out), "--events", str(events),
+    ])
+    assert rc == 0
+
+    doc = json.loads(out.read_text())
+    body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert body, "trace must contain events"
+    for entry in doc["traceEvents"]:
+        assert {"ph", "ts", "pid", "tid"} <= set(entry)
+
+    lines = events.read_text().splitlines()
+    assert lines
+    json.loads(lines[0])
+
+    printed = capsys.readouterr().out
+    assert str(out) in printed
+    # the breakdown table renders with headers and a total row even for
+    # stall-free runs
+    assert "core:epoch" in printed
+    assert "total" in printed
+
+
+def test_timeline_default_model_and_no_jsonl(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    rc = main(["timeline", "bandwidth", "--threads", "2", "--ops", "20",
+               "--out", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert "stall cycles" in capsys.readouterr().out
