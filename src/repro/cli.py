@@ -12,6 +12,8 @@ workflow:
 - ``timeline`` -- run one workload with event tracing on and export a
   Chrome-trace-format timeline (load it at https://ui.perfetto.dev)
   plus a per-epoch stall breakdown.
+- ``lint``    -- static persistency analysis of a workload's op stream
+  (no simulation); text/JSON/SARIF output and a CI-gate exit code.
 - ``list``    -- enumerate workloads and models.
 
 Model names come from the canonical registry
@@ -170,6 +172,56 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import (
+        LintConfig,
+        LintError,
+        Severity,
+        lint_all,
+        render_text,
+        sarif,
+    )
+
+    if not args.all and not args.workload:
+        print("lint: provide a workload name or --all", file=sys.stderr)
+        return 2
+    config = LintConfig(
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        seed=args.seed,
+        detectors=list(args.detectors) if args.detectors else None,
+        no_suppress=args.no_suppress,
+    )
+    names = None if args.all else [args.workload]
+    try:
+        reports, sources = lint_all(names, config)
+    except (LintError, KeyError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    fail_on = Severity.parse(args.fail_on)
+
+    if args.format == "sarif":
+        text = sarif.dumps(sarif.to_sarif(reports, sources))
+    elif args.format == "json":
+        text = sarif.dumps(sarif.to_json(reports))
+    else:
+        text = render_text(reports, verbose=args.verbose)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    gate_ok = all(r.ok(fail_on) for r in reports)
+    if not gate_ok:
+        print(
+            f"lint: findings at or above --fail-on={fail_on.label}",
+            file=sys.stderr,
+        )
+    return 0 if gate_ok else 1
+
+
 def cmd_crash(args) -> int:
     workload = get_workload(args.workload, ops_per_thread=args.ops,
                             seed=args.seed)
@@ -240,6 +292,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the raw event stream as JSONL here")
     common(p_tl)
     p_tl.set_defaults(func=cmd_timeline)
+
+    from repro.lint import DETECTORS
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static persistency analysis (no simulation)",
+    )
+    p_lint.add_argument("workload", nargs="?",
+                        help="workload to lint (or use --all)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every stock workload (the CI gate set)")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    p_lint.add_argument("--out", metavar="PATH",
+                        help="write the report here instead of stdout")
+    p_lint.add_argument("--fail-on", choices=("note", "warning", "error"),
+                        default="warning",
+                        help="exit non-zero if any finding is at or above "
+                        "this severity (default: warning)")
+    p_lint.add_argument("--no-suppress", action="store_true",
+                        help="ignore workload-declared suppressions")
+    p_lint.add_argument("--detectors", nargs="*", metavar="NAME",
+                        choices=sorted(DETECTORS),
+                        help="run only these detectors "
+                        f"(default: all of {sorted(DETECTORS)})")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="show suppressed findings with reasons")
+    p_lint.add_argument("--threads", type=int, default=4)
+    p_lint.add_argument("--ops", type=int, default=None,
+                        help="operations per thread "
+                        "(default: each workload's own default)")
+    p_lint.add_argument("--seed", type=int, default=7)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")

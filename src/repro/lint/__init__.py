@@ -1,0 +1,58 @@
+"""``repro.lint``: static persistency analysis over workload op streams.
+
+The linter catches persist-ordering bugs *before any cycle is
+simulated*: it dry-expands a workload's thread programs (or consumes a
+recorded trace) and runs a pluggable detector pipeline over the
+annotated op streams.  See ``docs/lint.md`` for the detector catalogue,
+the suppression mechanism, and SARIF usage; ``repro lint`` is the CLI
+entry point.
+
+.. code-block:: python
+
+    from repro.lint import LintConfig, lint_workload
+
+    report = lint_workload("queue", LintConfig(threads=4))
+    assert not report.findings, report.findings
+"""
+
+from repro.lint.detectors import DETECTORS, RULES, register_detector
+from repro.lint.model import (
+    Finding,
+    LintConfig,
+    LintError,
+    LintReport,
+    Rule,
+    Severity,
+)
+from repro.lint.runner import (
+    lint_all,
+    lint_stream,
+    lint_trace,
+    lint_workload,
+    stock_workload_names,
+)
+from repro.lint.sarif import render_text, to_json, to_sarif
+from repro.lint.stream import OpStream, expand_workload, stream_from_ops
+
+__all__ = [
+    "DETECTORS",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintReport",
+    "OpStream",
+    "RULES",
+    "Rule",
+    "Severity",
+    "expand_workload",
+    "lint_all",
+    "lint_stream",
+    "lint_trace",
+    "lint_workload",
+    "register_detector",
+    "render_text",
+    "stock_workload_names",
+    "stream_from_ops",
+    "to_json",
+    "to_sarif",
+]

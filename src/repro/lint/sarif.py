@@ -1,0 +1,191 @@
+"""Renderers for lint reports: human text, JSON, and SARIF 2.1.0.
+
+SARIF results use the workload class's source file as the artifact
+location (the op stream has no source positions of its own), carry the
+thread / strand / op index / cache line in ``properties``, and map
+severities onto SARIF levels one-to-one.  The output validates against
+the SARIF 2.1.0 schema shape GitHub code scanning ingests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional
+
+from repro.lint.detectors import RULES
+from repro.lint.model import LintReport, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _relative_uri(path: Optional[str]) -> str:
+    if not path:
+        return "unknown"
+    p = pathlib.Path(path)
+    for marker in ("src",):
+        try:
+            index = p.parts.index(marker)
+        except ValueError:
+            continue
+        return "/".join(p.parts[index:])
+    return p.name
+
+
+def to_sarif(
+    reports: List[LintReport],
+    sources: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 document for a set of reports.
+
+    ``sources`` maps workload name -> (source_file, source_line); the
+    runner fills it from the expanded streams.
+    """
+    sources = sources or {}
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.detector,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        for rule in RULES.values()
+    ]
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        source_file, source_line = sources.get(
+            report.workload, (None, None)
+        )
+        for finding in report.findings:
+            properties: Dict[str, Any] = {
+                "workload": finding.workload,
+                "detector": finding.detector,
+                "thread": finding.thread,
+                "strand": finding.strand,
+                "opIndex": finding.op_index,
+            }
+            if finding.line is not None:
+                properties["cacheLine"] = f"{finding.line:#x}"
+            if finding.fix_hint:
+                properties["fixHint"] = finding.fix_hint
+            results.append(
+                {
+                    "ruleId": finding.rule_id,
+                    "level": _LEVELS[finding.severity],
+                    "message": {
+                        "text": f"[{finding.workload}] {finding.message}"
+                    },
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {
+                                    "uri": _relative_uri(source_file),
+                                },
+                                "region": {
+                                    "startLine": source_line or 1,
+                                },
+                            }
+                        }
+                    ],
+                    "properties": properties,
+                }
+            )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_json(reports: List[LintReport]) -> Dict[str, Any]:
+    """Plain-JSON report document (stable keys, machine-readable)."""
+    return {
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "reports": [report.to_dict() for report in reports],
+        "total_findings": sum(len(r.findings) for r in reports),
+        "total_suppressed": sum(len(r.suppressed) for r in reports),
+    }
+
+
+def render_text(reports: List[LintReport], verbose: bool = False) -> str:
+    """Human-readable summary, one block per workload."""
+    lines: List[str] = []
+    total = 0
+    suppressed_total = 0
+    for report in reports:
+        total += len(report.findings)
+        suppressed_total += len(report.suppressed)
+        status = "ok" if not report.findings else (
+            f"{len(report.findings)} finding(s)"
+        )
+        extra = (
+            f", {len(report.suppressed)} suppressed"
+            if report.suppressed
+            else ""
+        )
+        lines.append(
+            f"{report.workload}: {status}{extra} "
+            f"({report.threads} threads, {report.ops_scanned} ops)"
+        )
+        for finding in report.findings:
+            lines.append(
+                f"  [{finding.severity.label.upper()}] "
+                f"{finding.rule_id} {finding.detector}: "
+                f"{finding.message} ({finding.location()})"
+            )
+            if finding.fix_hint:
+                lines.append(f"      hint: {finding.fix_hint}")
+        if verbose:
+            for finding, reason in report.suppressed:
+                lines.append(
+                    f"  [suppressed] {finding.rule_id} "
+                    f"{finding.detector}: {finding.message} "
+                    f"({finding.location()})"
+                )
+                lines.append(f"      reason: {reason}")
+    lines.append(
+        f"total: {total} finding(s), {suppressed_total} suppressed, "
+        f"{len(reports)} workload(s) linted"
+    )
+    return "\n".join(lines)
+
+
+def dumps(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "TOOL_NAME",
+    "dumps",
+    "render_text",
+    "to_json",
+    "to_sarif",
+]

@@ -21,17 +21,24 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.api import (
-    Acquire,
     Compute,
     DFence,
     Load,
-    OFence,
     PMAllocator,
     Program,
-    Release,
-    Store,
 )
 from repro.workloads.base import LINE, AtlasSection, Workload
+
+#: ATLAS publishes the last data store of a critical section under the
+#: release without a trailing fence *by design*: every store is preceded
+#: by a fence-ordered undo-log append, so a post-crash log replay makes
+#: the section failure-atomic even if the final store was not persist-
+#: ordered before the release (docs/lint.md#atlas-and-pl001).
+_ATLAS_RELEASE_REASON = (
+    "ATLAS failure-atomic section: each data store is preceded by an "
+    "ordered undo-log append, so release-published stores are "
+    "recoverable via log replay (docs/lint.md)"
+)
 
 
 class AtlasHeap(Workload):
@@ -40,6 +47,7 @@ class AtlasHeap(Workload):
     name = "heap"
     category = "atlas"
     default_ops = 90
+    lint_suppressions = {"unfenced-release": _ATLAS_RELEASE_REASON}
 
     CAPACITY = 256
 
@@ -112,6 +120,18 @@ class AtlasQueue(Workload):
     name = "queue"
     category = "atlas"
     default_ops = 110
+    lint_suppressions = {
+        "unfenced-release": _ATLAS_RELEASE_REASON,
+        # a FIFO queue cannot dequeue without bumping the head pointer,
+        # so a run of dequeues re-dirties the head line every (tiny)
+        # epoch.  That hot-line shape is this workload's defining
+        # characteristic (Figure 2), not an accident (docs/lint.md).
+        "epoch-shape": (
+            "two-lock queue head/tail bumps are inherently one store "
+            "per epoch on a dedicated hot line; the self-dependency "
+            "chain is the workload's defining shape (docs/lint.md)"
+        ),
+    }
 
     NODES = 512
     #: per-op think time; queue operations are nearly pure pointer work.
@@ -128,9 +148,16 @@ class AtlasQueue(Workload):
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
-            enq_section = AtlasSection(lock=tail_lock, log_base=logs[thread])
+            # the 16-line log region is split 8/8 between the two
+            # sections; log_entries must match or the cursors wrap past
+            # their half into neighbouring threads' logs (a cross-thread
+            # persist race repro-lint PL004 catches).
+            enq_section = AtlasSection(
+                lock=tail_lock, log_base=logs[thread], log_entries=8
+            )
             deq_section = AtlasSection(
-                lock=head_lock, log_base=logs[thread] + 8 * LINE
+                lock=head_lock, log_base=logs[thread] + 8 * LINE,
+                log_entries=8,
             )
 
             def program(rng=rng, enq=enq_section, deq=deq_section):
@@ -169,12 +196,14 @@ class AtlasSkiplist(Workload):
     name = "skiplist"
     category = "atlas"
     default_ops = 70
+    lint_suppressions = {"unfenced-release": _ATLAS_RELEASE_REASON}
 
     MAX_LEVEL = 4
     CAPACITY = 512
 
     def programs(self, heap_alloc: PMAllocator, num_threads: int) -> List[Program]:
         lock = heap_alloc.alloc_lock()
+        head = heap_alloc.alloc_lines(1)  # head sentinel (all levels)
         nodes = heap_alloc.alloc_lines(self.CAPACITY * 2)
         logs = [heap_alloc.alloc_lines(32) for _ in range(num_threads)]
         # python model: sorted list of keys with a node slot per key
@@ -212,15 +241,19 @@ class AtlasSkiplist(Workload):
                     yield from section.store(
                         nodes + slot * 2 * LINE, 32 + 8 * level
                     )
-                    # link predecessors at each level
+                    # link predecessors at each level; the head sentinel
+                    # is the predecessor of the smallest key (linking a
+                    # node to itself would be a self-dependency chain).
+                    pred_index = bisect.bisect_left(keys, key) - 1
+                    if pred_index < 0 or keys[pred_index] == key:
+                        pred_base = head
+                    else:
+                        pred_slot = model["slots"].get(keys[pred_index], 0)
+                        pred_base = (
+                            nodes + (pred_slot % self.CAPACITY) * 2 * LINE
+                        )
                     for lvl in range(level):
-                        pred_slot = model["slots"].get(
-                            keys[max(0, bisect.bisect_left(keys, key) - 1)], 0
-                        )
-                        yield from section.store(
-                            nodes + (pred_slot % self.CAPACITY) * 2 * LINE + 8 * lvl,
-                            8,
-                        )
+                        yield from section.store(pred_base + 8 * lvl, 8)
                     yield from section.end()
                 yield DFence()
 

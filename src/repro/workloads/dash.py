@@ -53,10 +53,23 @@ class _DashBase(Workload):
         yield OFence()
 
 
+#: The overflow areas (EH's stash slots, LH's bottom level) are shared
+#: between buckets whose locks differ, so a static lockset analysis sees
+#: the 16-byte overflow writes as races.  Real Dash serializes them with
+#: displacement locks plus fingerprint/version validation -- machinery
+#: this cycle-level model deliberately omits (docs/lint.md#dash-and-pl004).
+_DASH_OVERFLOW_REASON = (
+    "Dash overflow writes (stash/bottom level) are guarded by "
+    "displacement locks and version validation in the real "
+    "implementation; the model elides that machinery (docs/lint.md)"
+)
+
+
 class DashEH(_DashBase):
     """Dash extendible hashing, insert-only (the paper's configuration)."""
 
     name = "dash_eh"
+    lint_suppressions = {"persist-race": _DASH_OVERFLOW_REASON}
 
     def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
         buckets = heap.alloc_lines(self.BUCKETS)
@@ -96,6 +109,7 @@ class DashLH(_DashBase):
     """Dash level hashing: top-level insert with bottom-level bounce."""
 
     name = "dash_lh"
+    lint_suppressions = {"persist-race": _DASH_OVERFLOW_REASON}
 
     def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
         top = heap.alloc_lines(self.BUCKETS)

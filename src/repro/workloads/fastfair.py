@@ -76,8 +76,12 @@ class FastFair(Workload):
                         yield OFence()
                         yield Store(leaves[leaf] + 3 * LINE, 8)  # sibling ptr
                         yield OFence()
+                        # FAIR's parent update is a single 8-byte atomic
+                        # store (readers tolerate the transient state);
+                        # a wider write here would be a cross-thread
+                        # persist race on the shared inner node.
                         yield Store(
-                            inner + (leaf // 8) * self.LEAF_LINES * LINE, 16
+                            inner + (leaf // 8) * self.LEAF_LINES * LINE, 8
                         )
                         yield OFence()
                         keys = model[leaf]

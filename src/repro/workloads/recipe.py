@@ -48,12 +48,18 @@ class PART(Workload):
         inner_nodes = heap.alloc_lines(self.FANOUT_NODES * 2)
         leaves = heap.alloc_lines(self.LEAF_POOL)
         node_locks = [heap.alloc_lock() for _ in range(self.FANOUT_NODES)]
-        next_leaf = {"slot": 0}
+        # each thread allocates leaves from its own pool partition: a PM
+        # allocator never hands one address to two threads without an
+        # intervening free, so pool wrap must stay thread-local (cross-
+        # thread slot reuse is a persist race repro-lint PL004 catches).
+        pool_span = max(1, self.LEAF_POOL // max(1, num_threads))
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
+            pool_base = (thread * pool_span) % self.LEAF_POOL
 
-            def program(rng=rng):
+            def program(rng=rng, pool_base=pool_base):
+                allocated = 0
                 for op in range(self.ops_per_thread):
                     yield Compute(40)
                     key = rng.randrange(1_000_000)
@@ -65,13 +71,13 @@ class PART(Workload):
                     # write the leaf record, order it, then publish the
                     # child pointer in the inner node (RECIPE's pattern:
                     # ordered store before visibility store)
-                    slot = next_leaf["slot"] % self.LEAF_POOL
-                    next_leaf["slot"] += 1
+                    slot = pool_base + allocated % pool_span
+                    allocated += 1
                     yield Store(leaves + slot * LINE, 32)
                     yield OFence()
                     yield Store(inner_nodes + node * 2 * LINE + 8, 8)
                     yield OFence()
-                    if next_leaf["slot"] % 16 == 0:
+                    if allocated % 16 == 0:
                         # node growth (Node4 -> Node16 style): copy + publish
                         yield Store(inner_nodes + node * 2 * LINE + LINE, 64)
                         yield OFence()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Type
 from repro.workloads.base import Workload
 from repro.workloads.whisper import CTree, Echo, Memcached, Nstore, Vacation
 from repro.workloads.atlas import AtlasHeap, AtlasQueue, AtlasSkiplist
+from repro.workloads.buggy import BuggyDemo
 from repro.workloads.cceh import CCEH
 from repro.workloads.fastfair import FastFair
 from repro.workloads.dash import DashEH, DashLH
@@ -66,8 +67,15 @@ MICROBENCHES: List[Type[Workload]] = [
     CoalescingMicrobench,
 ]
 
+#: lint fixtures: resolvable by name, but never part of the stock suite
+#: (``repro lint --all`` must stay zero-findings; these seed true
+#: positives for the detector tests -- see docs/lint.md).
+FIXTURES: List[Type[Workload]] = [
+    BuggyDemo,
+]
+
 _BY_NAME: Dict[str, Type[Workload]] = {
-    cls.name: cls for cls in SUITE + MICROBENCHES
+    cls.name: cls for cls in SUITE + MICROBENCHES + FIXTURES
 }
 
 
@@ -89,4 +97,10 @@ def get_workload(
     return cls(ops_per_thread=ops_per_thread, seed=seed)
 
 
-__all__ = ["MICROBENCHES", "SUITE", "get_workload", "workload_names"]
+__all__ = [
+    "FIXTURES",
+    "MICROBENCHES",
+    "SUITE",
+    "get_workload",
+    "workload_names",
+]

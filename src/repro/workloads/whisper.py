@@ -170,6 +170,11 @@ class Vacation(Workload):
                     # volatile bookkeeping while still holding the lock
                     yield Compute(400)
                     yield Release(table_lock)
+                # the final transaction's log-invalidation write is only
+                # ordered (PMDK flushes it; the *next* commit makes it
+                # durable) -- at workload end, drain it explicitly so no
+                # committed transaction can be spuriously rolled back.
+                yield DFence()
 
             programs.append(program())
         return programs
@@ -248,6 +253,9 @@ class CTree(Workload):
                     )
                     yield Release(tree_lock)
                     yield Compute(90)
+                # drain the last transaction's log-invalidation write
+                # (see Vacation) so commit durability holds at exit.
+                yield DFence()
 
             programs.append(program())
         return programs
@@ -271,7 +279,11 @@ class Memcached(Workload):
     def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
         bucket_locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
         buckets = heap.alloc_lines(self.BUCKETS)
-        slabs = heap.alloc_lines(self.BUCKETS * 4)
+        # four two-line item slots per bucket: the largest value (128 B)
+        # spans two lines, so single-line slots would let a big item
+        # bleed into the next bucket's slab -- a cross-bucket persist
+        # race (repro-lint PL004) under a different bucket lock.
+        slabs = heap.alloc_lines(self.BUCKETS * 8)
         tx_log = heap.alloc_lines(num_threads * 8)
         programs = []
         for thread in range(num_threads):
@@ -285,7 +297,7 @@ class Memcached(Workload):
                     value_size = rng.choice((16, 32, 64, 128))
                     yield Acquire(bucket_locks[bucket])
                     yield Load(buckets + bucket * LINE, 8)
-                    item = slabs + (bucket * 4 + rng.randrange(4)) * LINE
+                    item = slabs + (bucket * 8 + rng.randrange(4) * 2) * LINE
                     yield from pmdk_tx(
                         tx_log,
                         log_slot,
@@ -294,6 +306,9 @@ class Memcached(Workload):
                     )
                     yield Release(bucket_locks[bucket])
                     yield Compute(120)  # respond
+                # drain the last transaction's log-invalidation write
+                # (see Vacation) so commit durability holds at exit.
+                yield DFence()
 
             programs.append(program())
         return programs

@@ -1,0 +1,112 @@
+"""The stock suite is lint-clean: the CI gate's zero-findings baseline.
+
+Every finding in a registered workload is either a real bug (fixed) or
+carries a documented suppression on the workload class -- so the gate
+must see zero unsuppressed findings at the *strictest* threshold, and
+every suppression must be real (re-surfacing under ``no_suppress``) and
+documented (non-empty reason naming docs/lint.md).
+"""
+
+import pytest
+
+from repro.lint import (
+    DETECTORS,
+    LintConfig,
+    Severity,
+    lint_all,
+    lint_workload,
+    stock_workload_names,
+)
+from repro.workloads.registry import FIXTURES, MICROBENCHES, SUITE
+
+
+@pytest.fixture(scope="module")
+def gate_reports():
+    reports, sources = lint_all(config=LintConfig(threads=4))
+    return reports, sources
+
+
+class TestZeroFindingsBaseline:
+    def test_gate_set_is_suite_plus_microbenches(self):
+        expected = [c.name for c in SUITE] + [c.name for c in MICROBENCHES]
+        assert stock_workload_names() == expected
+
+    def test_fixtures_excluded_from_gate(self):
+        names = set(stock_workload_names())
+        for cls in FIXTURES:
+            assert cls.name not in names
+
+    def test_zero_findings_at_strictest_threshold(self, gate_reports):
+        reports, _ = gate_reports
+        dirty = {
+            r.workload: [f.to_dict() for f in r.findings]
+            for r in reports
+            if not r.ok(Severity.NOTE)
+        }
+        assert not dirty, f"stock suite must be lint-clean: {dirty}"
+
+    def test_every_stock_workload_linted(self, gate_reports):
+        reports, _ = gate_reports
+        assert [r.workload for r in reports] == stock_workload_names()
+        assert all(r.ops_scanned > 0 for r in reports)
+
+    def test_sources_resolved_for_sarif(self, gate_reports):
+        _, sources = gate_reports
+        for name, (path, line) in sources.items():
+            assert path and path.endswith(".py"), name
+            assert line and line > 0, name
+
+
+class TestSuppressions:
+    def test_suppressed_findings_keep_reasons(self, gate_reports):
+        reports, _ = gate_reports
+        suppressing = [r for r in reports if r.suppressed]
+        assert suppressing, "ATLAS workloads must record suppressions"
+        for report in suppressing:
+            for finding, reason in report.suppressed:
+                assert "docs/lint.md" in reason, (
+                    f"{report.workload}: suppression reasons must point "
+                    f"at the documentation"
+                )
+                assert finding.detector in DETECTORS
+
+    def test_no_suppress_resurfaces_findings(self):
+        kept = lint_workload("heap", LintConfig(threads=4))
+        raw = lint_workload(
+            "heap", LintConfig(threads=4, no_suppress=True)
+        )
+        assert not kept.findings and kept.suppressed
+        assert len(raw.findings) == len(kept.suppressed)
+        assert not raw.suppressed
+
+    def test_declared_suppressions_name_real_detectors(self):
+        for cls in SUITE + MICROBENCHES + FIXTURES:
+            for detector, reason in cls.lint_suppressions.items():
+                assert detector in DETECTORS, (
+                    f"{cls.name} suppresses unknown detector {detector!r}"
+                )
+                assert reason.strip(), f"{cls.name}: empty reason"
+
+    def test_suppression_only_hides_matching_detector(self):
+        # heap suppresses only unfenced-release; a different detector's
+        # findings (none expected, but the mechanism matters) would pass
+        # through.  Verify via the fixture: suppressing one detector on
+        # it leaves the other four findings intact.
+        from repro.lint import expand_workload, lint_stream
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("buggy_demo")
+        config = LintConfig(threads=4)
+        stream = expand_workload(workload, config)
+        report = lint_stream(
+            stream, config, {"unfenced-release": "testing (docs/lint.md)"}
+        )
+        assert {f.detector for f in report.findings} == {
+            "unpersisted-tail",
+            "redundant-fence",
+            "persist-race",
+            "epoch-shape",
+        }
+        assert [f.detector for f, _ in report.suppressed] == [
+            "unfenced-release"
+        ]

@@ -1,0 +1,70 @@
+"""The ``repro lint`` CLI: formats, output files, and gate exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCli:
+    def test_single_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "nstore"]) == 0
+        out = capsys.readouterr().out
+        assert "nstore: ok" in out
+
+    def test_buggy_fixture_fails_gate(self, capsys):
+        assert main(["lint", "buggy_demo"]) == 1
+        captured = capsys.readouterr()
+        assert "PL001" in captured.out
+        assert "--fail-on" in captured.err
+
+    def test_fail_on_error_ignores_warnings(self):
+        # only the PL002 warning + PL003/PL005 notes remain
+        assert main([
+            "lint", "buggy_demo",
+            "--detectors", "unpersisted-tail", "redundant-fence",
+            "--fail-on", "error",
+        ]) == 0
+
+    def test_all_is_the_zero_findings_gate(self, capsys):
+        assert main(["lint", "--all", "--fail-on", "note"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 0 finding(s)" in out
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        path = tmp_path / "lint.sarif"
+        assert main([
+            "lint", "buggy_demo", "--format", "sarif",
+            "--out", str(path),
+        ]) == 1  # gate still applies when writing to a file
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+        assert f"wrote {path}" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "nstore", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["reports"][0]["workload"] == "nstore"
+
+    def test_no_suppress_fails_suppressed_workload(self, capsys):
+        assert main(["lint", "heap"]) == 0
+        assert main(["lint", "heap", "--no-suppress"]) == 1
+        assert "PL001" in capsys.readouterr().out
+
+    def test_verbose_shows_suppressions(self, capsys):
+        assert main(["lint", "heap", "--verbose"]) == 0
+        assert "[suppressed]" in capsys.readouterr().out
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["lint", "no_such_workload"]) == 2
+        assert "no_such_workload" in capsys.readouterr().err
+
+    def test_missing_workload_and_all_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_unknown_detector_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "nstore", "--detectors", "bogus"])

@@ -1,0 +1,109 @@
+"""Renderers: SARIF 2.1.0 shape, JSON document, and text output."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    RULES,
+    lint_all,
+    lint_workload,
+    render_text,
+    to_json,
+    to_sarif,
+)
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, TOOL_NAME, dumps
+
+
+@pytest.fixture(scope="module")
+def buggy_reports():
+    report = lint_workload("buggy_demo", LintConfig(threads=4))
+    return [report]
+
+
+class TestSarif:
+    def test_document_shape(self, buggy_reports):
+        doc = to_sarif(buggy_reports)
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert {r["id"] for r in driver["rules"]} == {
+            rule.id for rule in RULES.values()
+        }
+
+    def test_results_reference_registered_rules(self, buggy_reports):
+        doc = to_sarif(buggy_reports)
+        rule_ids = {
+            r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        results = doc["runs"][0]["results"]
+        assert results, "buggy_demo must yield SARIF results"
+        for result in results:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert location["region"]["startLine"] >= 1
+            assert result["properties"]["workload"] == "buggy_demo"
+
+    def test_sources_map_to_repo_relative_uris(self):
+        reports, sources = lint_all(
+            ["buggy_demo"], LintConfig(threads=4)
+        )
+        doc = to_sarif(reports, sources)
+        uri = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert uri == "src/repro/workloads/buggy.py"
+
+    def test_document_is_json_serializable(self, buggy_reports):
+        text = dumps(to_sarif(buggy_reports))
+        assert json.loads(text)["version"] == SARIF_VERSION
+
+    def test_clean_suite_produces_valid_empty_run(self):
+        reports, sources = lint_all(["nstore"], LintConfig(threads=2))
+        doc = to_sarif(reports, sources)
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"]
+
+
+class TestJson:
+    def test_totals_and_report_keys(self, buggy_reports):
+        doc = to_json(buggy_reports)
+        assert doc["tool"] == TOOL_NAME
+        assert doc["total_findings"] == len(buggy_reports[0].findings)
+        entry = doc["reports"][0]
+        assert entry["workload"] == "buggy_demo"
+        for finding in entry["findings"]:
+            assert {"rule", "detector", "severity", "message"} <= set(
+                finding
+            )
+
+    def test_suppressed_carry_reasons(self):
+        report = lint_workload("heap", LintConfig(threads=4))
+        doc = to_json([report])
+        assert doc["total_suppressed"] == len(report.suppressed)
+        assert all(
+            s["suppressed_reason"]
+            for s in doc["reports"][0]["suppressed"]
+        )
+
+
+class TestText:
+    def test_findings_rendered_with_severity_and_hint(self, buggy_reports):
+        text = render_text(buggy_reports)
+        assert "buggy_demo:" in text
+        assert "[ERROR] PL001 unfenced-release" in text
+        assert "hint:" in text
+        assert text.strip().endswith("1 workload(s) linted")
+
+    def test_verbose_shows_suppression_reasons(self):
+        report = lint_workload("heap", LintConfig(threads=4))
+        quiet = render_text([report])
+        loud = render_text([report], verbose=True)
+        assert "reason:" not in quiet
+        assert "reason:" in loud and "[suppressed]" in loud

@@ -1,0 +1,43 @@
+"""Run ruff / mypy --strict over ``src/repro/lint`` when available.
+
+CI installs both tools and runs them as a dedicated job (see
+``.github/workflows/ci.yml``); this test gives the same signal locally
+for environments that have them, and skips cleanly where they are not
+installed (the simulation toolchain does not depend on either).
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed")
+def test_ruff_clean_on_lint_package():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src/repro/lint",
+         "src/repro/workloads", "tests/lint"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
+def test_mypy_strict_on_lint_package():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro/lint"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

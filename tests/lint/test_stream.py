@@ -1,0 +1,110 @@
+"""Stream expansion and annotation: the static context detectors rely on."""
+
+import pytest
+
+from repro.core.api import (
+    Acquire,
+    DFence,
+    NewStrand,
+    OFence,
+    Release,
+    Store,
+)
+from repro.lint import LintConfig, LintError, expand_workload
+from repro.lint.stream import store_lines, stream_from_ops
+from repro.workloads.base import LINE, Workload
+from repro.workloads.registry import get_workload
+
+
+class TestStoreLines:
+    def test_single_line(self):
+        assert store_lines(Store(0, 8)) == [0]
+        assert store_lines(Store(LINE - 8, 8)) == [0]
+
+    def test_line_crossing(self):
+        assert store_lines(Store(LINE - 8, 16)) == [0, 1]
+        assert store_lines(Store(0, 256)) == [0, 1, 2, 3]
+
+    def test_zero_size_still_touches_its_line(self):
+        assert store_lines(Store(LINE, 0)) == [1]
+
+
+class TestAnnotation:
+    def _stream(self, ops):
+        return stream_from_ops("t", [ops]).threads[0]
+
+    def test_epoch_ts_starts_at_one_and_fences_bump(self):
+        ops = [Store(0, 8), OFence(), Store(0, 8), DFence(), Store(0, 8)]
+        ts = [a.epoch_ts for a in self._stream(ops).ops]
+        assert ts == [1, 1, 2, 2, 3]
+
+    def test_newstrand_bumps_strand_and_epoch(self):
+        ops = [Store(0, 8), NewStrand(), Store(0, 8)]
+        annotated = self._stream(ops).ops
+        assert [a.strand for a in annotated] == [0, 0, 1]
+        assert annotated[-1].epoch_ts == 2
+
+    def test_lockset_covers_release_but_not_after(self):
+        lock = 0x1000_0000
+        ops = [Acquire(lock), Store(0, 8), Release(lock), Store(0, 8)]
+        annotated = self._stream(ops).ops
+        assert annotated[1].locks_held == frozenset({lock})
+        # the release op itself still holds the lock...
+        assert annotated[2].locks_held == frozenset({lock})
+        # ...but the next op does not.
+        assert annotated[3].locks_held == frozenset()
+
+    def test_nested_locks(self):
+        a, b = 0x1000_0000, 0x1000_0001
+        ops = [Acquire(a), Acquire(b), Store(0, 8), Release(b), Store(0, 8)]
+        annotated = self._stream(ops).ops
+        assert annotated[2].locks_held == frozenset({a, b})
+        assert annotated[4].locks_held == frozenset({a})
+
+
+class TestExpansion:
+    def test_expansion_matches_thread_count(self):
+        stream = expand_workload(
+            get_workload("cceh"), LintConfig(threads=3)
+        )
+        assert len(stream.threads) == 3
+        assert stream.num_ops() > 0
+
+    def test_expansion_is_deterministic(self):
+        config = LintConfig(threads=2)
+        a = expand_workload(get_workload("queue", seed=3), config)
+        b = expand_workload(get_workload("queue", seed=3), config)
+        ops_a = [(x.index, repr(x.op)) for t in a.threads for x in t.ops]
+        ops_b = [(x.index, repr(x.op)) for t in b.threads for x in t.ops]
+        assert ops_a == ops_b
+
+    def test_runaway_generator_guarded(self):
+        class Runaway(Workload):
+            name = "runaway"
+
+            def programs(self, heap, num_threads):
+                def forever():
+                    while True:
+                        yield Store(0, 8)
+
+                return [forever() for _ in range(num_threads)]
+
+        with pytest.raises(LintError, match="exceeded"):
+            expand_workload(
+                Runaway(), LintConfig(threads=1, max_ops_per_thread=100)
+            )
+
+    def test_broken_programs_reported(self):
+        class Broken(Workload):
+            name = "broken"
+
+            def programs(self, heap, num_threads):
+                raise RuntimeError("boom")
+
+        with pytest.raises(LintError, match="failed to build"):
+            expand_workload(Broken(), LintConfig(threads=1))
+
+    def test_source_location_captured(self):
+        stream = expand_workload(get_workload("nstore"), LintConfig())
+        assert stream.source_file.endswith("whisper.py")
+        assert stream.source_line > 0

@@ -1,0 +1,75 @@
+"""Property test: the op codec round-trips every op type.
+
+Hypothesis drives :func:`repro.trace.ops.encode_op` /
+:func:`~repro.trace.ops.decode_op` across the whole op vocabulary and
+arbitrary field values, including the documented lossy case: a ``Store``
+payload that is not JSON-representable is dropped to ``None`` (payloads
+never affect timing), while every other field survives exactly.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    NewStrand,
+    OFence,
+    Release,
+    Store,
+)
+from repro.trace.ops import decode_op, dumps_op, encode_op, loads_op
+
+_addrs = st.integers(min_value=0, max_value=2**48)
+_sizes = st.integers(min_value=0, max_value=4096)
+_json_safe_payloads = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=64),
+)
+_unsafe_payloads = st.one_of(
+    st.binary(min_size=1, max_size=16),
+    st.tuples(st.integers()),
+    st.lists(st.integers(), min_size=1, max_size=4),
+    st.dictionaries(st.text(max_size=4), st.integers(), max_size=3),
+    st.builds(object),
+)
+
+_any_op = st.one_of(
+    st.builds(Store, addr=_addrs, size=_sizes, payload=_json_safe_payloads),
+    st.builds(Load, addr=_addrs, size=_sizes),
+    st.just(OFence()),
+    st.just(DFence()),
+    st.builds(Acquire, lock=_addrs),
+    st.builds(Release, lock=_addrs),
+    st.builds(Compute, cycles=st.integers(min_value=0, max_value=10**9)),
+    st.just(NewStrand()),
+)
+
+
+class TestOpCodecProperties:
+    @given(op=_any_op)
+    def test_encode_decode_roundtrip(self, op):
+        assert decode_op(encode_op(op)) == op
+
+    @given(op=_any_op)
+    def test_json_line_roundtrip(self, op):
+        assert loads_op(dumps_op(op)) == op
+
+    @given(addr=_addrs, size=_sizes, payload=_unsafe_payloads)
+    def test_non_json_safe_store_payload_dropped(self, addr, size, payload):
+        decoded = decode_op(encode_op(Store(addr, size, payload)))
+        assert decoded.payload is None
+        assert (decoded.addr, decoded.size) == (addr, size)
+
+    @given(addr=_addrs, size=_sizes, payload=_json_safe_payloads)
+    def test_json_safe_store_payload_preserved(self, addr, size, payload):
+        decoded = loads_op(dumps_op(Store(addr, size, payload)))
+        assert decoded.payload == payload
+
+    @given(op=_any_op)
+    def test_encoding_is_deterministic(self, op):
+        assert dumps_op(op) == dumps_op(op)

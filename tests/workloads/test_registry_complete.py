@@ -1,0 +1,91 @@
+"""Registry completeness: every workload module is registered and lintable.
+
+A workload that exists on disk but is missing from the registry silently
+escapes the lint gate (and every figure), so this test walks the package
+directory and cross-checks it against the registry -- then proves the
+whole registered set expands and lints via the same path ``repro lint
+--all`` uses.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.lint import LintConfig, lint_all, stock_workload_names
+from repro.workloads.base import Workload
+from repro.workloads.registry import FIXTURES, MICROBENCHES, SUITE
+
+#: modules that provide infrastructure, not workload classes.
+_NON_WORKLOAD_MODULES = {"base", "registry"}
+
+
+def _workload_modules():
+    for info in pkgutil.iter_modules(workloads_pkg.__path__):
+        if info.name.startswith("_"):
+            continue
+        if info.name in _NON_WORKLOAD_MODULES:
+            continue
+        yield importlib.import_module(f"repro.workloads.{info.name}")
+
+
+def _classes_in(module):
+    for _, cls in inspect.getmembers(module, inspect.isclass):
+        if (
+            issubclass(cls, Workload)
+            and cls is not Workload
+            and cls.__module__ == module.__name__
+            and not cls.__name__.startswith("_")
+            and not inspect.isabstract(cls)
+            # helper bases keep the placeholder name
+            and cls.name != Workload.name
+        ):
+            yield cls
+
+
+REGISTERED = set(SUITE + MICROBENCHES + FIXTURES)
+
+
+class TestRegistryCompleteness:
+    def test_every_module_contributes_registered_classes(self):
+        missing = []
+        for module in _workload_modules():
+            classes = list(_classes_in(module))
+            assert classes, (
+                f"{module.__name__} defines no concrete Workload; either "
+                f"add one or list the module in _NON_WORKLOAD_MODULES"
+            )
+            for cls in classes:
+                if cls not in REGISTERED:
+                    missing.append(f"{module.__name__}.{cls.__name__}")
+        assert not missing, (
+            f"workload classes not registered (add to SUITE, "
+            f"MICROBENCHES, or FIXTURES): {missing}"
+        )
+
+    def test_names_are_unique(self):
+        names = [cls.name for cls in REGISTERED]
+        assert len(names) == len(set(names))
+
+    def test_every_stock_workload_lints_via_all(self):
+        config = LintConfig(threads=2, ops_per_thread=5)
+        reports, sources = lint_all(config=config)
+        assert [r.workload for r in reports] == stock_workload_names()
+        for report in reports:
+            assert report.ops_scanned > 0, report.workload
+        assert set(sources) == set(stock_workload_names())
+
+    @pytest.mark.parametrize(
+        "cls", sorted(FIXTURES, key=lambda c: c.name),
+        ids=lambda c: c.name,
+    )
+    def test_fixtures_lintable_but_not_gated(self, cls):
+        from repro.lint import lint_workload
+
+        assert cls.name not in stock_workload_names()
+        report = lint_workload(
+            cls.name, LintConfig(threads=2, ops_per_thread=5)
+        )
+        assert report.ops_scanned > 0
