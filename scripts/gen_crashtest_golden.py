@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Regenerate the golden crash-recovery fixtures in tests/crashtest/golden/.
+
+Each golden file pins the full recovery pipeline on one serialized crash
+state: the state itself (exact :mod:`repro.crashtest.serialize` form),
+the transaction-layer metadata needed to re-run recovery offline
+(manager geometry, execution records, variables), and the adjudicated
+verdict (``recover`` + ``check_atomicity``).
+
+The regression tests load these files and re-run recovery WITHOUT
+simulating; any behavioral drift in ``tx.recovery`` or the serializer
+shows up as a verdict or value mismatch.
+
+Cases:
+
+- ``bank-<model>``: the bank scenario crashed mid-run on each
+  ordering-preserving design -- must recover atomically.
+- ``adversarial-asap_no_undo``: ORDERED-mode commits on the no-undo
+  ablation, crashed inside the reordering window -- must NOT be atomic.
+
+Run from the repo root:  PYTHONPATH=src python scripts/gen_crashtest_golden.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.api import PMAllocator
+from repro.core.crash import run_and_crash
+from repro.core.models import resolve_model
+from repro.crashtest.serialize import state_to_dict
+from repro.sim.config import MachineConfig
+from repro.tx import DurabilityMode, check_atomicity, recover
+from repro.tx.scenarios import adversarial_workload, bank_workload
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "crashtest", "golden"
+)
+GOLDEN_SCHEMA = 1
+
+#: the four acceptance designs, all of which must recover atomically.
+PASSING_MODELS = ("baseline", "hops_rp", "asap_rp", "eadr")
+BANK_CRASH_CYCLE = 2500
+BANK_SEED = 1
+
+
+def _manager_doc(manager) -> dict:
+    return {
+        "thread": manager.thread,
+        "commit_cell": manager.commit_cell,
+        "log_base": manager.log_base,
+        "log_lines": manager.log_lines,
+        "records": [
+            {
+                "tx_id": r.tx_id,
+                "thread": r.thread,
+                "tx_seq": r.tx_seq,
+                "writes": [list(w) for w in r.writes],
+                "serial": r.serial,
+            }
+            for r in manager.records
+        ],
+    }
+
+
+def _case_doc(case, state, managers, pvars) -> dict:
+    recovery = recover(state, managers, pvars)
+    report = check_atomicity(recovery, managers, initial={})
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "kind": "repro-crashtest-golden",
+        "case": case,
+        "state": state_to_dict(state),
+        "managers": [_manager_doc(m) for m in managers],
+        "pvars": [{"name": v.name, "addr": v.addr} for v in pvars],
+        "verdict": {
+            "atomic": report.atomic,
+            "problems": list(report.problems),
+            "committed_seq": {
+                str(t): s for t, s in sorted(recovery.committed_seq.items())
+            },
+            "recovered_values": {
+                k: v for k, v in sorted(recovery.values.items())
+                if v is not None
+            },
+            "num_undone": len(recovery.undone),
+        },
+    }
+
+
+def _write(name: str, doc: dict) -> None:
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    with open(path, "w") as handle:
+        handle.write(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+    status = "atomic" if doc["verdict"]["atomic"] else "NOT atomic"
+    print(f"wrote {os.path.relpath(path)} ({status})")
+
+
+def gen_bank(model_name: str) -> None:
+    heap = PMAllocator()
+    programs, managers, pvars = bank_workload(
+        heap, DurabilityMode.DFENCE, seed=BANK_SEED
+    )
+    model = resolve_model(model_name)
+    state = run_and_crash(
+        MachineConfig(num_cores=2), model.run_config(),
+        programs, BANK_CRASH_CYCLE,
+    )
+    doc = _case_doc(
+        {
+            "scenario": "bank", "model": model_name,
+            "mode": "dfence", "crash_cycle": BANK_CRASH_CYCLE,
+            "seed": BANK_SEED,
+        },
+        state, managers, pvars,
+    )
+    assert doc["verdict"]["atomic"], (
+        f"bank on {model_name} must recover atomically"
+    )
+    _write(f"bank-{model_name}", doc)
+
+
+def gen_adversarial() -> None:
+    model = resolve_model("asap_no_undo")
+    chosen = None
+    for crash_cycle in range(50, 6000, 53):
+        heap = PMAllocator()
+        programs, managers, pvars = adversarial_workload(
+            heap, DurabilityMode.ORDERED
+        )
+        state = run_and_crash(
+            MachineConfig(num_cores=2), model.run_config(),
+            programs, crash_cycle,
+        )
+        recovery = recover(state, managers, pvars)
+        report = check_atomicity(recovery, managers, initial={})
+        if report.atomic:
+            continue
+        # prefer the headline failure mode: a later transaction's commit
+        # record outliving an earlier one's (not a mere in-flight value).
+        if any("leaked" in p for p in report.problems):
+            chosen = (crash_cycle, state, managers, pvars)
+            break
+        chosen = chosen or (crash_cycle, state, managers, pvars)
+    assert chosen is not None, "no failing crash cycle found"
+    crash_cycle, state, managers, pvars = chosen
+    doc = _case_doc(
+        {
+            "scenario": "adversarial", "model": "asap_no_undo",
+            "mode": "ordered", "crash_cycle": crash_cycle, "seed": None,
+        },
+        state, managers, pvars,
+    )
+    assert not doc["verdict"]["atomic"]
+    _write("adversarial-asap_no_undo", doc)
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for model_name in PASSING_MODELS:
+        gen_bank(model_name)
+    gen_adversarial()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,10 @@ workflow:
   plus a per-epoch stall breakdown.
 - ``lint``    -- static persistency analysis of a workload's op stream
   (no simulation); text/JSON/SARIF output and a CI-gate exit code.
+- ``crashtest`` -- systematic crash-sweep campaign: crash at every
+  epoch-commit boundary plus stratified-random cycles, adjudicate
+  recovery with per-workload semantic oracles, minimize and serialize
+  any failure for replay.
 - ``list``    -- enumerate workloads and models.
 
 Model names come from the canonical registry
@@ -222,6 +226,71 @@ def cmd_lint(args) -> int:
     return 0 if gate_ok else 1
 
 
+def cmd_crashtest(args) -> int:
+    from repro.core.models import RP_MODELS
+    from repro.crashtest import replay_failure, run_campaign
+    from repro.workloads.registry import SUITE
+
+    if args.replay:
+        report = replay_failure(args.replay)
+        verdict = "reproduced" if report["reproduced"] else "NOT reproduced"
+        print(f"replay {args.replay}: {verdict}")
+        print(f"  workload: {report['workload']}  "
+              f"crash cycle: {report['crash_cycle']}  "
+              f"surviving media lines: {report['media_lines']}")
+        for v in report["generic_violations"]:
+            print(f"  generic: {v}")
+        for v in report["oracle_violations"]:
+            print(f"  oracle:  {v}")
+        return 0 if report["reproduced"] else 1
+
+    if not args.all and not args.workload:
+        print("crashtest: provide a workload name or --all", file=sys.stderr)
+        return 2
+    names = (
+        [cls.name for cls in SUITE] if args.all else [args.workload]
+    )
+    models = (
+        [resolve_model(m) for m in args.models]
+        if args.models else list(RP_MODELS)
+    )
+
+    from repro.obs import JSONLSink
+
+    sinks = []
+    jsonl = None
+    if args.events:
+        jsonl = JSONLSink(args.events)
+        sinks.append(jsonl)
+    try:
+        report = run_campaign(
+            names,
+            models=models,
+            machine=_machine_config(args),
+            points=args.points,
+            seed=args.seed,
+            ops_per_thread=args.ops,
+            jobs=args.jobs,
+            cache=_cache(args),
+            sinks=sinks,
+            save_dir=args.save_failures,
+        )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.out}")
+    print(report.summary())
+    if jsonl is not None:
+        print(f"wrote {args.events} ({jsonl.lines_written} JSONL events)")
+    for path in report.saved_failures:
+        print(f"minimized failing state: {path} "
+              f"(replay with: repro crashtest --replay {path})")
+    return 0 if report.ok else 1
+
+
 def cmd_crash(args) -> int:
     workload = get_workload(args.workload, ops_per_thread=args.ops,
                             seed=args.seed)
@@ -325,6 +394,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: each workload's own default)")
     p_lint.add_argument("--seed", type=int, default=7)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_ct = sub.add_parser(
+        "crashtest",
+        help="systematic crash-sweep campaign with recovery oracles",
+    )
+    p_ct.add_argument("workload", nargs="?",
+                      help="workload to sweep (or use --all)")
+    p_ct.add_argument("--all", action="store_true",
+                      help="sweep every stock Table III workload")
+    p_ct.add_argument("--models", nargs="*", choices=_MODEL_CHOICE_NAMES,
+                      metavar="MODEL",
+                      help="models to sweep (default: baseline hops asap "
+                      "eadr)")
+    p_ct.add_argument("--points", type=int, default=50, metavar="N",
+                      help="crash points per (workload, model) cell "
+                      "(default: 50)")
+    p_ct.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="adjudicate crash points across N worker "
+                      "processes")
+    p_ct.add_argument("--out", metavar="PATH",
+                      help="write the canonical JSON campaign report here")
+    p_ct.add_argument("--save-failures", metavar="DIR",
+                      help="serialize minimized failing crash states here")
+    p_ct.add_argument("--events", metavar="PATH",
+                      help="write per-crash-point events as JSONL here")
+    p_ct.add_argument("--replay", metavar="FILE",
+                      help="re-adjudicate a serialized failing state "
+                      "(skips the sweep)")
+    p_ct.add_argument("--threads", type=int, default=4)
+    p_ct.add_argument("--mcs", type=int, default=2)
+    p_ct.add_argument("--ops", type=int, default=24,
+                      help="operations per thread (default: 24)")
+    p_ct.add_argument("--seed", type=int, default=7)
+    p_ct.add_argument("--cache-dir", metavar="DIR",
+                      help="reuse deterministic results cached here")
+    p_ct.set_defaults(func=cmd_crashtest)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")

@@ -1,0 +1,517 @@
+"""The crash-sweep campaign engine.
+
+One **campaign** = (workloads x models) cells; one **cell** = a
+deterministic set of crash points (see :mod:`repro.crashtest.points`),
+each re-simulated from scratch, crashed with
+:func:`repro.core.crash.crash_machine`, and adjudicated against:
+
+- the generic Theorem-2 checker
+  (:func:`repro.verify.consistency.check_consistency`), and
+- the workload's semantic ``recovery_oracle()``
+  (:meth:`repro.workloads.base.Workload.recovery_oracle`).
+
+Crash points fan out over the :mod:`repro.exp` process-pool executor and
+cache exactly like experiment cells: a :class:`CrashPointSpec` is
+content-addressed, its :class:`CrashPointResult` is a small picklable
+record.  On a violation the campaign minimizes the failure
+(:mod:`repro.crashtest.minimize`) and serializes a replayable
+:class:`~repro.core.crash.CrashState`.
+
+Reports are **canonical**: same spec + same seed = byte-identical
+``to_dict()`` JSON, whether results came fresh, from the cache, or from
+a different worker count.  Nothing wall-clock-dependent is recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.api import PMAllocator
+from repro.core.crash import CrashState, run_and_crash
+from repro.core.models import RP_MODELS, ModelSpec, resolve_model
+from repro.exp.executors import make_executor
+from repro.exp.spec import _jsonable
+from repro.obs.events import Event, EventType
+from repro.sim.config import MachineConfig, RunConfig
+from repro.verify.consistency import check_consistency
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+from repro.crashtest.minimize import MinimizedFailure, minimize_failure
+from repro.crashtest.points import (
+    ReferenceRun,
+    enumerate_crash_points,
+    trace_reference,
+)
+from repro.crashtest.serialize import dumps_state
+
+#: participates in every CrashPointSpec key; bump when adjudication or
+#: crash semantics change in a way that invalidates cached verdicts.
+CRASHTEST_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# adjudication
+# ---------------------------------------------------------------------------
+
+def adjudicate(state: CrashState, workload: Workload) -> Tuple[List[str], List[str]]:
+    """(generic violations, oracle violations) for one crash image."""
+    report = check_consistency(state.log, state.media)
+    generic = [v.describe() for v in report.violations]
+    generic += [
+        f"unknown recovered value {value} on line {line:#x}"
+        for line, value in report.unknown_values
+    ]
+    oracle = list(workload.recovery_oracle(state))
+    return generic, oracle
+
+
+# ---------------------------------------------------------------------------
+# one crash point
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrashPointSpec:
+    """One fully-specified fault injection: a cell plus a crash cycle."""
+
+    workload: str
+    model: ModelSpec
+    crash_cycle: int
+    machine: MachineConfig = dataclasses.field(default_factory=MachineConfig)
+    ops_per_thread: Optional[int] = None
+    num_threads: Optional[int] = None
+    seed: int = 7
+
+    def __init__(
+        self,
+        workload: str,
+        model: Union[str, ModelSpec],
+        crash_cycle: int,
+        machine: Optional[MachineConfig] = None,
+        ops_per_thread: Optional[int] = None,
+        num_threads: Optional[int] = None,
+        seed: int = 7,
+    ) -> None:
+        get_workload(workload)  # raises KeyError with available names
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "model", resolve_model(model))
+        object.__setattr__(self, "crash_cycle", int(crash_cycle))
+        object.__setattr__(self, "machine", machine or MachineConfig())
+        object.__setattr__(self, "ops_per_thread", ops_per_thread)
+        object.__setattr__(self, "num_threads", num_threads)
+        object.__setattr__(self, "seed", seed)
+
+    # -- construction -------------------------------------------------------
+
+    def build_workload(self) -> Workload:
+        return get_workload(
+            self.workload, ops_per_thread=self.ops_per_thread, seed=self.seed
+        )
+
+    def run_config(self) -> RunConfig:
+        return self.model.run_config(seed=self.seed)
+
+    def simulate(self, crash_cycle: Optional[int] = None) -> CrashState:
+        """Fresh run of this cell, crashed at ``crash_cycle``."""
+        workload = self.build_workload()
+        threads = self.num_threads or self.machine.num_cores
+        programs = workload.programs(PMAllocator(), threads)
+        return run_and_crash(
+            self.machine,
+            self.run_config(),
+            programs,
+            self.crash_cycle if crash_cycle is None else crash_cycle,
+        )
+
+    # -- identity (cache contract, mirrors exp.RunSpec) ---------------------
+
+    def describe(self) -> dict:
+        return {
+            "schema": CRASHTEST_SCHEMA_VERSION,
+            "kind": "crashtest-point",
+            "workload": self.workload,
+            "hardware": self.model.hardware.value,
+            "persistency": self.model.persistency.value,
+            "machine": _jsonable(self.machine),
+            "run_config": _jsonable(self.run_config()),
+            "crash_cycle": self.crash_cycle,
+            "ops_per_thread": self.ops_per_thread,
+            "num_threads": self.num_threads,
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        payload = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        return (
+            f"crash:{self.workload}/{self.model.name}"
+            f"@{self.crash_cycle}/seed{self.seed}"
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self) -> "CrashPointResult":
+        state = self.simulate()
+        generic, oracle = adjudicate(state, self.build_workload())
+        return CrashPointResult(
+            crash_cycle=self.crash_cycle,
+            generic_violations=tuple(generic),
+            oracle_violations=tuple(oracle),
+            surviving_lines=len(state.media),
+            writes_logged=len(state.log.writes),
+        )
+
+
+@dataclass(frozen=True)
+class CrashPointResult:
+    """Small, picklable, cacheable verdict for one crash point."""
+
+    crash_cycle: int
+    generic_violations: Tuple[str, ...]
+    oracle_violations: Tuple[str, ...]
+    surviving_lines: int
+    writes_logged: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.generic_violations and not self.oracle_violations
+
+    def to_dict(self) -> dict:
+        return {
+            "crash_cycle": self.crash_cycle,
+            "ok": self.ok,
+            "generic_violations": list(self.generic_violations),
+            "oracle_violations": list(self.oracle_violations),
+            "surviving_lines": self.surviving_lines,
+            "writes_logged": self.writes_logged,
+        }
+
+
+def execute_crash_point(spec: CrashPointSpec) -> CrashPointResult:
+    """Module-level trampoline so executors can ship specs to workers."""
+    return spec.execute()
+
+
+# ---------------------------------------------------------------------------
+# campaign reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CellReport:
+    """All crash points of one (workload, model) cell."""
+
+    workload: str
+    model: str
+    reference: ReferenceRun
+    results: List[CrashPointResult]
+    #: set when the cell violated and minimization ran.
+    failure: Optional[dict] = None
+
+    @property
+    def failures(self) -> List[CrashPointResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "drain_cycles": self.reference.drain_cycles,
+            "runtime_cycles": self.reference.runtime_cycles,
+            "commit_boundaries": len(self.reference.commit_cycles),
+            "points": [r.to_dict() for r in self.results],
+            "violations": sum(
+                len(r.generic_violations) + len(r.oracle_violations)
+                for r in self.results
+            ),
+            "failure": self.failure,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """The campaign verdict: every cell, canonical and replayable."""
+
+    cells: List[CellReport]
+    points_requested: int
+    seed: int
+    #: cache bookkeeping -- excluded from to_dict() so reports stay
+    #: byte-identical whether results were fresh or cached.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    saved_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(cell.results) for cell in self.cells)
+
+    @property
+    def total_failing_points(self) -> int:
+        return sum(len(cell.failures) for cell in self.cells)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CRASHTEST_SCHEMA_VERSION,
+            "kind": "crashtest-campaign",
+            "points_requested": self.points_requested,
+            "seed": self.seed,
+            "ok": self.ok,
+            "total_points": self.total_points,
+            "total_failing_points": self.total_failing_points,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
+
+    def summary(self) -> str:
+        lines = []
+        for cell in self.cells:
+            status = "ok" if cell.ok else f"{len(cell.failures)} FAILING"
+            lines.append(
+                f"{cell.workload:>12s} {cell.model:>12s}  "
+                f"{len(cell.results):3d} points  {status}"
+            )
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {self.total_points} crash points, "
+            f"{self.total_failing_points} failing"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+def run_campaign(
+    workloads: Sequence[str],
+    models: Optional[Sequence[Union[str, ModelSpec]]] = None,
+    machine: Optional[MachineConfig] = None,
+    points: int = 50,
+    seed: int = 7,
+    ops_per_thread: Optional[int] = None,
+    num_threads: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    sinks: Optional[List] = None,
+    save_dir: Optional[str] = None,
+    minimize: bool = True,
+) -> CampaignReport:
+    """Sweep every (workload, model) cell and adjudicate every point.
+
+    ``cache`` is a :class:`repro.exp.cache.ResultCache` (or None);
+    ``sinks`` receive one ``CRASH_POINT`` event per adjudicated point;
+    ``save_dir`` is where minimized failing states are serialized.
+    """
+    machine = machine or MachineConfig()
+    specs_by_cell: Dict[Tuple[str, str], List[CrashPointSpec]] = {}
+    references: Dict[Tuple[str, str], ReferenceRun] = {}
+    resolved = [resolve_model(m) for m in (models or RP_MODELS)]
+
+    # phase 1: reference runs + deterministic crash-point enumeration
+    for name in workloads:
+        for model in resolved:
+            workload = get_workload(name, ops_per_thread=ops_per_thread,
+                                    seed=seed)
+            reference = trace_reference(
+                workload, machine, model.run_config(seed=seed),
+                num_threads=num_threads,
+            )
+            identity = {
+                "schema": CRASHTEST_SCHEMA_VERSION,
+                "workload": name,
+                "hardware": model.hardware.value,
+                "persistency": model.persistency.value,
+                "machine": _jsonable(machine),
+                "ops_per_thread": ops_per_thread,
+                "num_threads": num_threads,
+                "seed": seed,
+                "points": points,
+            }
+            cycles = enumerate_crash_points(reference, points, identity)
+            key = (name, model.name)
+            references[key] = reference
+            specs_by_cell[key] = [
+                CrashPointSpec(
+                    workload=name, model=model, crash_cycle=cycle,
+                    machine=machine, ops_per_thread=ops_per_thread,
+                    num_threads=num_threads, seed=seed,
+                )
+                for cycle in cycles
+            ]
+
+    # phase 2: cache lookups, then one fan-out over every pending spec
+    all_specs = [s for specs in specs_by_cell.values() for s in specs]
+    results: Dict[str, CrashPointResult] = {}
+    pending: List[CrashPointSpec] = []
+    for spec in all_specs:
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            results[spec.key()] = cached
+        else:
+            pending.append(spec)
+    executor = make_executor(jobs)
+    for spec, result in zip(pending, executor.map(execute_crash_point, pending)):
+        results[spec.key()] = result
+        if cache is not None:
+            cache.put(spec, result)
+
+    # phase 3: assemble cells, emit events, minimize failures
+    report = CampaignReport(
+        cells=[],
+        points_requested=points,
+        seed=seed,
+        cache_hits=len(all_specs) - len(pending),
+        cache_misses=len(pending),
+    )
+    for (name, model_name), specs in specs_by_cell.items():
+        cell_results = [results[s.key()] for s in specs]
+        _emit_events(sinks, name, model_name, cell_results)
+        cell = CellReport(
+            workload=name,
+            model=model_name,
+            reference=references[(name, model_name)],
+            results=cell_results,
+        )
+        if not cell.ok and minimize:
+            cell.failure = _minimize_cell(
+                specs, cell_results, save_dir, report
+            )
+        report.cells.append(cell)
+    return report
+
+
+def _emit_events(
+    sinks: Optional[List],
+    workload: str,
+    model: str,
+    results: List[CrashPointResult],
+) -> None:
+    if not sinks:
+        return
+    for result in results:
+        count = len(result.generic_violations) + len(result.oracle_violations)
+        event = Event(
+            cycle=result.crash_cycle,
+            type=EventType.CRASH_POINT,
+            comp="crashtest",
+            core=None, mc=None, epoch=None, line=None, reason=None, dur=None,
+            kind=f"{workload}/{model}:" + ("violation" if count else "ok"),
+            value=count or None,
+        )
+        for sink in sinks:
+            sink.handle(event)
+
+
+def _minimize_cell(
+    specs: List[CrashPointSpec],
+    cell_results: List[CrashPointResult],
+    save_dir: Optional[str],
+    report: CampaignReport,
+) -> dict:
+    """Minimize the cell's first failing point; serialize for replay."""
+    failing_index = next(
+        i for i, r in enumerate(cell_results) if not r.ok
+    )
+    spec = specs[failing_index]
+    workload = spec.build_workload()
+
+    def judge(state: CrashState) -> List[str]:
+        generic, oracle = adjudicate(state, workload)
+        return generic + oracle
+
+    passing_cycle = 0
+    for i in range(failing_index - 1, -1, -1):
+        if cell_results[i].ok:
+            passing_cycle = specs[i].crash_cycle
+            break
+    minimized = minimize_failure(
+        spec.simulate, judge, spec.crash_cycle, passing_cycle
+    )
+    failure = {
+        "crash_cycle": minimized.state.crash_cycle,
+        "original_cycle": minimized.original_cycle,
+        "media_lines": len(minimized.state.media),
+        "original_media_lines": minimized.original_media_lines,
+        "violations": list(minimized.violations),
+        "replay_file": None,
+    }
+    if save_dir:
+        os.makedirs(save_dir, exist_ok=True)
+        filename = f"crash-{spec.workload}-{spec.model.name}.json"
+        path = os.path.join(save_dir, filename)
+        _save_failure(path, spec, minimized)
+        failure["replay_file"] = filename
+        report.saved_failures.append(path)
+    return failure
+
+
+def _save_failure(
+    path: str, spec: CrashPointSpec, minimized: MinimizedFailure
+) -> None:
+    meta = {
+        "spec": spec.describe(),
+        "violations": list(minimized.violations),
+        "original_cycle": minimized.original_cycle,
+        "original_media_lines": minimized.original_media_lines,
+    }
+    with open(path, "w") as handle:
+        handle.write(dumps_state(minimized.state, meta))
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+def replay_failure(path: str) -> dict:
+    """Re-adjudicate a serialized failing state without re-simulating."""
+    from repro.crashtest.serialize import load_state
+
+    state, meta = load_state(path)
+    spec_doc = meta.get("spec", {})
+    name = spec_doc.get("workload")
+    workload = get_workload(
+        name,
+        ops_per_thread=spec_doc.get("ops_per_thread"),
+        seed=spec_doc.get("seed", 7),
+    )
+    generic, oracle = adjudicate(state, workload)
+    return {
+        "file": path,
+        "workload": name,
+        "crash_cycle": state.crash_cycle,
+        "media_lines": len(state.media),
+        "generic_violations": generic,
+        "oracle_violations": oracle,
+        "recorded_violations": meta.get("violations", []),
+        "reproduced": bool(generic or oracle),
+    }
+
+
+__all__ = [
+    "CRASHTEST_SCHEMA_VERSION",
+    "CampaignReport",
+    "CellReport",
+    "CrashPointResult",
+    "CrashPointSpec",
+    "adjudicate",
+    "execute_crash_point",
+    "replay_failure",
+    "run_campaign",
+]

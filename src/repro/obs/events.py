@@ -63,6 +63,10 @@ class EventType(enum.Enum):
     WBB_HOLD = "wbb_hold"
     #: held lines were released by the PB's head advancing (``value`` = n).
     WBB_RELEASE = "wbb_release"
+    #: a crash-sweep campaign adjudicated one crash point (``kind`` =
+    #: "ok"/"violation", ``value`` = number of violations; emitted by
+    #: :mod:`repro.crashtest`, not by the simulator).
+    CRASH_POINT = "crash_point"
 
 
 class StallReason(enum.Enum):

@@ -6,6 +6,9 @@
 - :mod:`repro.verify.consistency` -- recovered memory is consistent
   (Theorem 2): no epoch whose writes were lost is a strict ancestor of an
   epoch whose write survived.
+- :mod:`repro.verify.chains` -- application-level ordered-chain oracle
+  for crash images (the default ``recovery_oracle()`` of every workload;
+  see :mod:`repro.crashtest`).
 """
 
 from repro.verify.dag import EpochDag, build_dag
@@ -14,11 +17,21 @@ from repro.verify.consistency import (
     Violation,
     check_consistency,
 )
+from repro.verify.chains import (
+    CHAIN_TAG,
+    ChainViolation,
+    chain_writes,
+    check_ordered_chains,
+)
 
 __all__ = [
+    "CHAIN_TAG",
+    "ChainViolation",
     "ConsistencyReport",
     "EpochDag",
     "Violation",
     "build_dag",
+    "chain_writes",
     "check_consistency",
+    "check_ordered_chains",
 ]

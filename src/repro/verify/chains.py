@@ -1,0 +1,145 @@
+"""Ordered-chain recovery oracle: per-workload semantic crash checking.
+
+The generic checker (:mod:`repro.verify.consistency`) validates the
+*hardware's* contract -- epoch ordering over the dependency DAG.  It
+cannot know what the *application* meant: that a CCEH directory entry
+must never point at an unwritten segment, or that an undo-log entry must
+hit media before the store it guards.  Workloads express exactly those
+intentions as **ordered chains**: each semantically ordered store is
+tagged with a payload ``("ot", chain, seq)`` (see
+:class:`repro.workloads.base.ChainTagger`), where ``seq`` increases only
+across the workload's *own* ordering points (fences, lock releases).
+
+The oracle rule over a crash image: if any chain write with sequence
+``s`` was **absorbed** (its line's surviving value is at or after it in
+the line's volatile write order) while some chain write with sequence
+``s' < s`` was **lost**, the application's intended order was broken.
+Partial epochs stay legal -- writes *within* one sequence number carry
+no mutual ordering claim, matching epoch persistency's
+ordering-not-atomicity contract.
+
+Soundness note for oracle authors: bump the sequence only at points
+*every* model under test actually orders (``OFence``/``DFence``/
+``Release``).  Under-tagging (fewer bumps than real ordering points)
+only weakens the oracle; over-tagging makes it scream at legal
+reorderings.  ``NewStrand`` in particular removes ordering -- a chain
+that keeps counting across a strand boundary asserts an ordering the
+hardware never promised (the ``buggy_demo`` fixture does exactly that,
+deliberately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.epoch import EpochLog
+
+#: payload tag marking a store as a member of an ordered chain.
+CHAIN_TAG = "ot"
+
+
+@dataclass(frozen=True)
+class ChainViolation:
+    """An application-level ordering violation in a crash image."""
+
+    chain: str
+    #: the earlier chain write that failed to survive.
+    lost_write_id: int
+    lost_line: int
+    lost_seq: int
+    #: the later chain write whose effect is evident on media.
+    survivor_write_id: int
+    survivor_line: int
+    survivor_seq: int
+
+    def describe(self) -> str:
+        return (
+            f"chain {self.chain!r}: write {self.survivor_write_id} "
+            f"(seq {self.survivor_seq}, line {self.survivor_line:#x}) is "
+            f"evident on media but earlier write {self.lost_write_id} "
+            f"(seq {self.lost_seq}, line {self.lost_line:#x}) was lost"
+        )
+
+
+def chain_writes(log: EpochLog) -> Dict[str, List[Tuple[int, int, int]]]:
+    """All tagged writes, grouped by chain: ``{chain: [(seq, wid, line)]}``."""
+    chains: Dict[str, List[Tuple[int, int, int]]] = {}
+    for write_id, payload in log.payloads.items():
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == CHAIN_TAG
+        ):
+            record = log.writes.get(write_id)
+            if record is None:
+                continue
+            _, chain, seq = payload
+            chains.setdefault(str(chain), []).append(
+                (int(seq), write_id, record.line)
+            )
+    for members in chains.values():
+        members.sort()
+    return chains
+
+
+def check_ordered_chains(
+    log: EpochLog, media: Dict[int, int]
+) -> List[ChainViolation]:
+    """Adjudicate a crash image against every tagged chain in the log.
+
+    A chain write is *absorbed* when the surviving value of its line sits
+    at or after the write in that line's volatile order (i.e. the write's
+    effect -- directly or via a newer overwrite -- reached media); it is
+    *lost* otherwise.  Lines whose surviving value appears in no write
+    history are skipped (the generic checker reports them as
+    ``unknown_values``).
+    """
+    position: Dict[int, Dict[int, int]] = {
+        line: {wid: i for i, wid in enumerate(order)}
+        for line, order in log.line_order.items()
+    }
+    surviving_index: Dict[int, int] = {}
+    for line, order in log.line_order.items():
+        recovered = media.get(line, 0)
+        if recovered == 0:
+            surviving_index[line] = -1
+        else:
+            index = position[line].get(recovered)
+            if index is None:
+                continue  # unknown value: leave the line unadjudicated
+            surviving_index[line] = index
+
+    violations: List[ChainViolation] = []
+    for chain, members in sorted(chain_writes(log).items()):
+        judged = []
+        for seq, write_id, line in members:
+            if line not in surviving_index:
+                continue
+            absorbed = surviving_index[line] >= position[line][write_id]
+            judged.append((seq, write_id, line, absorbed))
+        lost = [(s, w, ln) for s, w, ln, absorbed in judged if not absorbed]
+        if not lost:
+            continue
+        for seq, write_id, line, absorbed in judged:
+            if not absorbed:
+                continue
+            # the earliest lost write strictly before this survivor
+            earlier = [entry for entry in lost if entry[0] < seq]
+            if earlier:
+                lost_seq, lost_wid, lost_line = earlier[0]
+                violations.append(
+                    ChainViolation(
+                        chain=chain,
+                        lost_write_id=lost_wid,
+                        lost_line=lost_line,
+                        lost_seq=lost_seq,
+                        survivor_write_id=write_id,
+                        survivor_line=line,
+                        survivor_seq=seq,
+                    )
+                )
+    return violations
+
+
+__all__ = ["CHAIN_TAG", "ChainViolation", "chain_writes", "check_ordered_chains"]

@@ -27,7 +27,7 @@ from repro.core.api import (
     PMAllocator,
     Program,
 )
-from repro.workloads.base import LINE, AtlasSection, Workload
+from repro.workloads.base import LINE, AtlasSection, ChainTagger, Workload
 
 #: ATLAS publishes the last data store of a critical section under the
 #: release without a trailing fence *by design*: every store is preceded
@@ -61,7 +61,10 @@ class AtlasHeap(Workload):
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
-            section = AtlasSection(lock=lock, log_base=logs[thread])
+            section = AtlasSection(
+                lock=lock, log_base=logs[thread],
+                chain=ChainTagger(f"heap/t{thread}"),
+            )
 
             def program(rng=rng, section=section):
                 for op in range(self.ops_per_thread):
@@ -152,12 +155,16 @@ class AtlasQueue(Workload):
             # sections; log_entries must match or the cursors wrap past
             # their half into neighbouring threads' logs (a cross-thread
             # persist race repro-lint PL004 catches).
+            # one chain across both sections: all claims are per-thread
+            # program-order claims, and both sections fence identically.
+            queue_chain = ChainTagger(f"queue/t{thread}")
             enq_section = AtlasSection(
-                lock=tail_lock, log_base=logs[thread], log_entries=8
+                lock=tail_lock, log_base=logs[thread], log_entries=8,
+                chain=queue_chain,
             )
             deq_section = AtlasSection(
                 lock=head_lock, log_base=logs[thread] + 8 * LINE,
-                log_entries=8,
+                log_entries=8, chain=queue_chain,
             )
 
             def program(rng=rng, enq=enq_section, deq=deq_section):
@@ -211,7 +218,10 @@ class AtlasSkiplist(Workload):
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
-            section = AtlasSection(lock=lock, log_base=logs[thread])
+            section = AtlasSection(
+                lock=lock, log_base=logs[thread],
+                chain=ChainTagger(f"skiplist/t{thread}"),
+            )
 
             def program(rng=rng, section=section):
                 import bisect

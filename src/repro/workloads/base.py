@@ -61,8 +61,51 @@ class Workload:
         """Build one program per thread.  Subclasses must override."""
         raise NotImplementedError
 
+    def recovery_oracle(self, state) -> List[str]:
+        """Adjudicate a post-crash memory image semantically.
+
+        ``state`` is a :class:`repro.core.crash.CrashState` from a run of
+        this workload's programs.  Returns human-readable descriptions of
+        every application-level invariant the image breaks (empty list =
+        recoverable).  The default oracle checks the ordered chains the
+        workload tagged via :class:`ChainTagger`; subclasses with richer
+        invariants (e.g. transactional atomicity) override or extend it.
+        """
+        from repro.verify.chains import check_ordered_chains
+
+        return [
+            v.describe()
+            for v in check_ordered_chains(state.log, state.media)
+        ]
+
     def _rng(self, thread: int) -> random.Random:
         return random.Random((self.seed * 1_000_003 + thread * 97) & 0xFFFFFFFF)
+
+
+class ChainTagger:
+    """Stamps stores with ordered-chain payloads for the crash oracle.
+
+    ``tag()`` returns the payload for the next store of the chain;
+    ``fence()`` records that the workload is about to emit an ordering
+    point (``OFence``/``DFence``/``Release``) so later stores carry a
+    higher sequence number.  The resulting ``("ot", chain, seq)`` tuples
+    are inert during simulation (payloads are never interpreted by the
+    machine) and are read back by
+    :func:`repro.verify.chains.check_ordered_chains`.
+
+    Only bump at ordering points every hardware model honours; see the
+    soundness note in :mod:`repro.verify.chains`.
+    """
+
+    def __init__(self, chain: str, seq: int = 0) -> None:
+        self.chain = chain
+        self.seq = seq
+
+    def tag(self) -> tuple:
+        return ("ot", self.chain, self.seq)
+
+    def fence(self) -> None:
+        self.seq += 1
 
 
 @dataclass
@@ -148,6 +191,7 @@ def pmdk_tx(
     updates: List[tuple],
     log_entry_bytes: int = 64,
     work_cycles: int = 0,
+    chain: Optional[ChainTagger] = None,
 ) -> Iterator[Op]:
     """A PMDK-style undo-logged transaction.
 
@@ -159,22 +203,36 @@ def pmdk_tx(
 
     ``log_slot`` selects a per-thread region in the log so concurrent
     transactions do not share log lines.
+
+    ``chain`` (optional) tags the tx's stores for the crash oracle: data
+    must not be evident without its undo records, nor the log drop
+    without the data.
     """
     log_cursor = log_base + log_slot
     for index, (addr, size) in enumerate(updates):
         entry = log_cursor + index * log_entry_bytes
         # undo record: old value + address + length
-        yield Store(entry, min(log_entry_bytes, max(size + 16, 32)))
+        yield Store(
+            entry,
+            min(log_entry_bytes, max(size + 16, 32)),
+            chain.tag() if chain else None,
+        )
     yield OFence()
+    if chain:
+        chain.fence()
     if work_cycles:
         # transaction body: the computation that produces the new values
         yield Compute(work_cycles)
     for addr, size in updates:
-        yield Store(addr, size)
+        yield Store(addr, size, chain.tag() if chain else None)
     yield DFence()
+    if chain:
+        chain.fence()
     # drop the log (header write marks the tx committed)
-    yield Store(log_cursor, 8)
+    yield Store(log_cursor, 8, chain.tag() if chain else None)
     yield OFence()
+    if chain:
+        chain.fence()
 
 
 @dataclass
@@ -194,6 +252,9 @@ class AtlasSection:
     #: the allocation backing ``log_base`` or appends bleed into
     #: neighbouring allocations (repro-lint PL004 catches this).
     log_entries: int = 32
+    #: optional crash-oracle chain: log appends must be evident before
+    #: their data stores (ATLAS's undo-before-data contract).
+    chain: Optional[ChainTagger] = None
     _cursor: int = 0
 
     def begin(self) -> Iterator[Op]:
@@ -208,16 +269,26 @@ class AtlasSection:
             + (self._cursor % self.log_entries) * self.log_entry_bytes
         )
         self._cursor += 1
-        yield Store(entry, min(self.log_entry_bytes, max(size + 16, 32)))
+        tagging = self.chain is not None and payload is None
+        yield Store(
+            entry,
+            min(self.log_entry_bytes, max(size + 16, 32)),
+            self.chain.tag() if tagging else None,
+        )
         yield OFence()
-        yield Store(addr, size, payload)
+        if self.chain is not None:
+            self.chain.fence()
+        yield Store(addr, size, self.chain.tag() if tagging else payload)
 
     def end(self) -> Iterator[Op]:
         yield Release(self.lock)
+        if self.chain is not None:
+            self.chain.fence()
 
 
 __all__ = [
     "AtlasSection",
+    "ChainTagger",
     "LINE",
     "Workload",
     "WorkloadResult",

@@ -20,6 +20,19 @@ The seeded bugs, in stream order:
   (oversized).
 - **PL002 unpersisted-tail** -- thread 0 ends (after a ``NewStrand``,
   for strand coverage) with dirty stores and no ``DFence``.
+
+The fixture also seeds a **crash-oracle true positive** for
+:mod:`repro.crashtest`: thread 0 tags its stores with one ordered chain
+(see :class:`repro.workloads.base.ChainTagger`) that keeps counting
+**across the NewStrand** -- asserting the tail store is ordered after
+the big epoch, an ordering strand persistency never promises.  Designs
+that exploit the strand relaxation (ASAP commits the post-strand tail
+epoch independently of the still-in-flight 30-line epoch) can crash
+with the tail evident while the big epoch's writes are lost: the
+semantic oracle fires while the generic Theorem-2 checker stays clean
+(the strand start drops the dependency edge, so no DAG ancestry is
+violated).  That split -- app-level violation, hardware-level legal --
+is exactly what the per-workload oracle exists to catch.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload
+from repro.workloads.base import LINE, ChainTagger, Workload
 
 
 class BuggyDemo(Workload):
@@ -65,6 +78,11 @@ class BuggyDemo(Workload):
         clean = heap.alloc_lines(max(1, num_threads))
 
         def buggy_writer() -> Program:
+            # The crash-oracle bug: this chain keeps counting across the
+            # NewStrand below, claiming tail-after-big ordering that
+            # strand persistency never provides.  Do NOT imitate; sound
+            # chains reset (or stop) at strand boundaries.
+            chain = ChainTagger("buggy/t0")
             # PL001: store published by the release, no fence between.
             yield Acquire(lock_a)
             yield Store(shared, 16)
@@ -78,15 +96,17 @@ class BuggyDemo(Workload):
             yield DFence()
             # PL005 (self-dependency): the hot line in every epoch.
             for _ in range(self.HOT_EPOCHS):
-                yield Store(hot, 8)
+                yield Store(hot, 8, chain.tag())
                 yield OFence()
+                chain.fence()
             # PL005 (oversized): one epoch dirtying OVERSIZED_LINES.
             for index in range(self.OVERSIZED_LINES):
-                yield Store(big + index * LINE, 8)
+                yield Store(big + index * LINE, 8, chain.tag())
             yield OFence()
+            chain.fence()
             # PL002: dirty stores on a fresh strand, never drained.
             yield NewStrand()
-            yield Store(tail, 8)
+            yield Store(tail, 8, chain.tag())
 
         def racing_writer() -> Program:
             # PL004: same 16-byte record as thread 0, different lock.

@@ -28,7 +28,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload
+from repro.workloads.base import LINE, ChainTagger, Workload
 
 
 class CCEH(Workload):
@@ -60,7 +60,11 @@ class CCEH(Workload):
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                # crash oracle: the directory publish must never be
+                # evident without the spare segment it points at (CCEH's
+                # signature failure-atomicity invariant).
+                chain = ChainTagger(f"cceh/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(50)  # hash the key
                     segment = rng.randrange(self.SEGMENTS)
@@ -75,9 +79,11 @@ class CCEH(Workload):
                         # common case: one ordered 16-byte slot write
                         occupancy[(segment, bucket)] = used + 1
                         yield Store(
-                            segments[segment] + bucket * LINE + used * 16, 16
+                            segments[segment] + bucket * LINE + used * 16, 16,
+                            chain.tag(),
                         )
                         yield OFence()
+                        chain.fence()
                     elif rng.random() < 0.7:
                         # linear-probe displacement into the neighbour bucket
                         neighbour = (bucket + 1) % self.BUCKETS_PER_SEGMENT
@@ -90,26 +96,35 @@ class CCEH(Workload):
                             + neighbour * LINE
                             + (slot % self.SLOTS_PER_BUCKET) * 16,
                             16,
+                            chain.tag(),
                         )
                         yield OFence()
-                        yield Store(segments[segment] + bucket * LINE, 16)
+                        chain.fence()
+                        yield Store(segments[segment] + bucket * LINE, 16,
+                                    chain.tag())
                         yield OFence()
+                        chain.fence()
                     else:
                         # segment split: rehash into the spare segment, then
                         # one ordered directory publish (failure-atomic)
                         for line in range(0, self.BUCKETS_PER_SEGMENT, 2):
                             yield Store(
-                                spare_segments[segment] + line * LINE, 128
+                                spare_segments[segment] + line * LINE, 128,
+                                chain.tag(),
                             )
                         yield OFence()
-                        yield Store(directory + (segment % 2) * LINE, 8)
+                        chain.fence()
+                        yield Store(directory + (segment % 2) * LINE, 8,
+                                    chain.tag())
                         yield OFence()
+                        chain.fence()
                         segments[segment], spare_segments[segment] = (
                             spare_segments[segment], segments[segment],
                         )
                         for b in range(self.BUCKETS_PER_SEGMENT):
                             occupancy[(segment, b)] = 1
                     yield Release(segment_locks[segment])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())

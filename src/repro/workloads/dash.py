@@ -29,7 +29,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload
+from repro.workloads.base import LINE, ChainTagger, Workload
 
 
 class _DashBase(Workload):
@@ -41,47 +41,55 @@ class _DashBase(Workload):
     BUCKETS = 7
     SLOTS = 4
 
-    def _bucket_op(self, rng, bucket_addr, version_addr, occupancy, key):
-        """One insert into a bucket: probe, slot write, version bump."""
+    def _bucket_op(self, rng, bucket_addr, version_addr, occupancy, key,
+                   chain=None):
+        """One insert into a bucket: probe, slot write, version bump.
+
+        Crash oracle (``chain``): the version bump must never be evident
+        without the slot write it validates.
+        """
         yield Load(bucket_addr, 16)  # fingerprint probe
         used = occupancy.get(bucket_addr, 0)
         slot = used % self.SLOTS
         occupancy[bucket_addr] = used + 1
-        yield Store(bucket_addr + slot * 16, 16)
+        yield Store(bucket_addr + slot * 16, 16, chain.tag() if chain else None)
         yield OFence()
-        yield Store(version_addr, 8)  # bucket version/metadata bump
+        if chain:
+            chain.fence()
+        yield Store(version_addr, 8, chain.tag() if chain else None)
         yield OFence()
+        if chain:
+            chain.fence()
 
 
-#: The overflow areas (EH's stash slots, LH's bottom level) are shared
-#: between buckets whose locks differ, so a static lockset analysis sees
-#: the 16-byte overflow writes as races.  Real Dash serializes them with
-#: displacement locks plus fingerprint/version validation -- machinery
-#: this cycle-level model deliberately omits (docs/lint.md#dash-and-pl004).
-_DASH_OVERFLOW_REASON = (
-    "Dash overflow writes (stash/bottom level) are guarded by "
-    "displacement locks and version validation in the real "
-    "implementation; the model elides that machinery (docs/lint.md)"
-)
+# The overflow areas (EH's stash slots, LH's bottom level) are shared
+# between buckets whose locks differ, so overflow writes take a
+# *displacement lock* on the overflow line, exactly like real Dash.  The
+# lock matters beyond lint cleanliness: under release persistency an
+# unsynchronized same-line write-after-write lets the loser's persist
+# buffer flush a stale value AFTER the winner's newer write reached the
+# ADR domain, regressing the post-crash media -- the crash-sweep
+# campaign caught precisely that on the unguarded bottom level.
 
 
 class DashEH(_DashBase):
     """Dash extendible hashing, insert-only (the paper's configuration)."""
 
     name = "dash_eh"
-    lint_suppressions = {"persist-race": _DASH_OVERFLOW_REASON}
 
     def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
         buckets = heap.alloc_lines(self.BUCKETS)
         stash = heap.alloc_lines(2)
         versions = heap.alloc_lines(self.BUCKETS)
         locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        stash_locks = [heap.alloc_lock() for _ in range(2)]
         occupancy: Dict[int, int] = {}
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                chain = ChainTagger(f"dash_eh/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(45)
                     key = rng.randrange(1_000_000)
@@ -93,12 +101,21 @@ class DashEH(_DashBase):
                         versions + bucket * LINE,
                         occupancy,
                         key,
+                        chain=chain,
                     )
                     if occupancy.get(buckets + bucket * LINE, 0) % 7 == 0:
                         # overflow into the stash: one extra ordered write
-                        yield Store(stash + (bucket % 2) * LINE, 16)
+                        # under the stash's displacement lock (the stash
+                        # is shared between buckets with distinct locks)
+                        yield Acquire(stash_locks[bucket % 2])
+                        yield Store(stash + (bucket % 2) * LINE, 16,
+                                    chain.tag())
                         yield OFence()
+                        chain.fence()
+                        yield Release(stash_locks[bucket % 2])
+                        chain.fence()
                     yield Release(locks[bucket])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())
@@ -109,19 +126,25 @@ class DashLH(_DashBase):
     """Dash level hashing: top-level insert with bottom-level bounce."""
 
     name = "dash_lh"
-    lint_suppressions = {"persist-race": _DASH_OVERFLOW_REASON}
 
     def programs(self, heap: PMAllocator, num_threads: int) -> List[Program]:
         top = heap.alloc_lines(self.BUCKETS)
-        bottom = heap.alloc_lines(self.BUCKETS // 2)
+        # bucket // 2 for bucket in [0, BUCKETS) needs ceil(BUCKETS / 2)
+        # bottom lines; BUCKETS // 2 would alias the last odd bucket's
+        # bottom line into the next allocation.
+        bottom = heap.alloc_lines((self.BUCKETS + 1) // 2)
         versions = heap.alloc_lines(self.BUCKETS)
         locks = [heap.alloc_lock() for _ in range(self.BUCKETS)]
+        bottom_locks = [
+            heap.alloc_lock() for _ in range((self.BUCKETS + 1) // 2)
+        ]
         occupancy: Dict[int, int] = {}
         programs = []
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                chain = ChainTagger(f"dash_lh/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(45)
                     key = rng.randrange(1_000_000)
@@ -130,15 +153,23 @@ class DashLH(_DashBase):
                     top_addr = top + bucket * LINE
                     used = occupancy.get(top_addr, 0)
                     if used >= self.SLOTS and used % 2 == 0:
-                        # bounce the evicted entry to the bottom level
+                        # bounce the evicted entry to the bottom level,
+                        # under that line's displacement lock (two top
+                        # buckets with distinct locks share it)
                         bottom_addr = bottom + (bucket // 2) * LINE
+                        yield Acquire(bottom_locks[bucket // 2])
                         yield Load(bottom_addr, 16)
-                        yield Store(bottom_addr, 16)
+                        yield Store(bottom_addr, 16, chain.tag())
                         yield OFence()
+                        chain.fence()
+                        yield Release(bottom_locks[bucket // 2])
+                        chain.fence()
                     yield from self._bucket_op(
-                        rng, top_addr, versions + bucket * LINE, occupancy, key
+                        rng, top_addr, versions + bucket * LINE, occupancy,
+                        key, chain=chain,
                     )
                     yield Release(locks[bucket])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())

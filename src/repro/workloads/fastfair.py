@@ -28,7 +28,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload
+from repro.workloads.base import LINE, ChainTagger, Workload
 
 
 class FastFair(Workload):
@@ -54,7 +54,11 @@ class FastFair(Workload):
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                # crash oracle: parent update ⇒ sibling pointer ⇒ sibling
+                # payload (FAIR), and each FAST shift step ⇒ the previous
+                # one -- the tree is only traversable if these hold.
+                chain = ChainTagger(f"fast_fair/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(60)
                     key = rng.randrange(1_000_000)
@@ -72,18 +76,24 @@ class FastFair(Workload):
                         # pointer, then update the parent -- each ordered.
                         half = len(keys) // 2
                         model[leaf] = keys[:half]
-                        yield Store(leaves[leaf] + 2 * LINE, 128)  # new sibling payload
+                        yield Store(leaves[leaf] + 2 * LINE, 128,
+                                    chain.tag())  # new sibling payload
                         yield OFence()
-                        yield Store(leaves[leaf] + 3 * LINE, 8)  # sibling ptr
+                        chain.fence()
+                        yield Store(leaves[leaf] + 3 * LINE, 8,
+                                    chain.tag())  # sibling ptr
                         yield OFence()
+                        chain.fence()
                         # FAIR's parent update is a single 8-byte atomic
                         # store (readers tolerate the transient state);
                         # a wider write here would be a cross-thread
                         # persist race on the shared inner node.
                         yield Store(
-                            inner + (leaf // 8) * self.LEAF_LINES * LINE, 8
+                            inner + (leaf // 8) * self.LEAF_LINES * LINE, 8,
+                            chain.tag(),
                         )
                         yield OFence()
+                        chain.fence()
                         keys = model[leaf]
                     position = bisect.bisect_left(keys, key)
                     keys.insert(position, key)
@@ -95,9 +105,11 @@ class FastFair(Workload):
                         offset = (position * 16 + crossing * LINE) % (
                             self.LEAF_LINES * LINE - 16
                         )
-                        yield Store(leaves[leaf] + offset, 16)
+                        yield Store(leaves[leaf] + offset, 16, chain.tag())
                         yield OFence()
+                        chain.fence()
                     yield Release(leaf_locks[leaf])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())

@@ -21,7 +21,7 @@ from repro.core.api import (
     Store,
 )
 from repro.sim.config import CACHE_LINE_BYTES
-from repro.workloads.base import Workload
+from repro.workloads.base import ChainTagger, Workload
 
 
 class BandwidthMicrobench(Workload):
@@ -42,10 +42,13 @@ class BandwidthMicrobench(Workload):
                 self.WRITE_BYTES * self.ops_per_thread, align=self.WRITE_BYTES
             )
 
-            def program(region=region):
+            def program(region=region, thread=thread):
+                chain = ChainTagger(f"bandwidth/t{thread}")
                 for op in range(self.ops_per_thread):
-                    yield Store(region + op * self.WRITE_BYTES, self.WRITE_BYTES)
+                    yield Store(region + op * self.WRITE_BYTES,
+                                self.WRITE_BYTES, chain.tag())
                     yield OFence()
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())
@@ -67,10 +70,13 @@ class FenceLatencyMicrobench(Workload):
         for thread in range(num_threads):
             region = heap.alloc_lines(64)
 
-            def program(region=region):
+            def program(region=region, thread=thread):
+                chain = ChainTagger(f"fence_latency/t{thread}")
                 for op in range(self.ops_per_thread):
-                    yield Store(region + (op % 64) * CACHE_LINE_BYTES, 64)
+                    yield Store(region + (op % 64) * CACHE_LINE_BYTES, 64,
+                                chain.tag())
                     yield OFence()
+                    chain.fence()
                     yield Compute(25)
                 yield DFence()
 
@@ -106,11 +112,16 @@ class CoalescingMicrobench(Workload):
         for thread in range(num_threads):
             region = heap.alloc_lines(self.HOT_LINES)
 
-            def program(region=region):
+            def program(region=region, thread=thread):
+                chain = ChainTagger(f"coalescing/t{thread}")
                 for op in range(self.ops_per_thread):
-                    yield Store(region + (op % self.HOT_LINES) * CACHE_LINE_BYTES, 8)
+                    yield Store(
+                        region + (op % self.HOT_LINES) * CACHE_LINE_BYTES, 8,
+                        chain.tag(),
+                    )
                     if op % 8 == 7:
                         yield OFence()
+                        chain.fence()
                 yield DFence()
 
             programs.append(program())

@@ -31,7 +31,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload
+from repro.workloads.base import LINE, ChainTagger, Workload
 
 
 class PART(Workload):
@@ -58,7 +58,10 @@ class PART(Workload):
             rng = self._rng(thread)
             pool_base = (thread * pool_span) % self.LEAF_POOL
 
-            def program(rng=rng, pool_base=pool_base):
+            def program(rng=rng, pool_base=pool_base, thread=thread):
+                # crash oracle: a published child pointer must never be
+                # evident without the leaf record it points at.
+                chain = ChainTagger(f"p_art/t{thread}")
                 allocated = 0
                 for op in range(self.ops_per_thread):
                     yield Compute(40)
@@ -73,17 +76,25 @@ class PART(Workload):
                     # ordered store before visibility store)
                     slot = pool_base + allocated % pool_span
                     allocated += 1
-                    yield Store(leaves + slot * LINE, 32)
+                    yield Store(leaves + slot * LINE, 32, chain.tag())
                     yield OFence()
-                    yield Store(inner_nodes + node * 2 * LINE + 8, 8)
+                    chain.fence()
+                    yield Store(inner_nodes + node * 2 * LINE + 8, 8,
+                                chain.tag())
                     yield OFence()
+                    chain.fence()
                     if allocated % 16 == 0:
                         # node growth (Node4 -> Node16 style): copy + publish
-                        yield Store(inner_nodes + node * 2 * LINE + LINE, 64)
+                        yield Store(inner_nodes + node * 2 * LINE + LINE, 64,
+                                    chain.tag())
                         yield OFence()
-                        yield Store(inner_nodes + node * 2 * LINE, 8)
+                        chain.fence()
+                        yield Store(inner_nodes + node * 2 * LINE, 8,
+                                    chain.tag())
                         yield OFence()
+                        chain.fence()
                     yield Release(node_locks[node])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())
@@ -107,7 +118,8 @@ class PCLHT(Workload):
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                chain = ChainTagger(f"p_clht/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(40)
                     bucket = rng.randrange(self.BUCKETS)
@@ -118,9 +130,11 @@ class PCLHT(Workload):
                     occupancy[addr] = occupancy.get(addr, 0) + 1
                     # CLHT: key+value written into the bucket line, one
                     # atomic visibility store, one fence
-                    yield Store(addr + slot * 16, 16)
+                    yield Store(addr + slot * 16, 16, chain.tag())
                     yield OFence()
+                    chain.fence()
                     yield Release(locks[bucket])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())
@@ -146,7 +160,10 @@ class PMasstree(Workload):
         for thread in range(num_threads):
             rng = self._rng(thread)
 
-            def program(rng=rng):
+            def program(rng=rng, thread=thread):
+                # crash oracle: permutation word ⇒ entry write; trie
+                # publish ⇒ sibling payload.
+                chain = ChainTagger(f"p_masstree/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(70)
                     key = rng.randrange(1_000_000)
@@ -165,19 +182,26 @@ class PMasstree(Workload):
                     occupancy[leaf_addr] = used + 1
                     # masstree leaf insert: permutation-ordered entry write
                     # then the permutation word, each ordered
-                    yield Store(leaf_addr + LINE + (used % 12) * 16, 16)
+                    yield Store(leaf_addr + LINE + (used % 12) * 16, 16,
+                                chain.tag())
                     yield OFence()
-                    yield Store(leaf_addr, 8)  # permutation word
+                    chain.fence()
+                    yield Store(leaf_addr, 8, chain.tag())  # permutation word
                     yield OFence()
+                    chain.fence()
                     if used % 12 == 11:
                         # leaf split: sibling write + trie-layer publish
-                        yield Store(leaf_addr + 2 * LINE, 128)
+                        yield Store(leaf_addr + 2 * LINE, 128, chain.tag())
                         yield OFence()
+                        chain.fence()
                         yield Store(
-                            trie + (key % self.TRIE_NODES) * 4 * LINE, 8
+                            trie + (key % self.TRIE_NODES) * 4 * LINE, 8,
+                            chain.tag(),
                         )
                         yield OFence()
+                        chain.fence()
                     yield Release(leaf_locks[leaf])
+                    chain.fence()
                 yield DFence()
 
             programs.append(program())

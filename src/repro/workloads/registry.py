@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Type
 
 from repro.workloads.base import Workload
 from repro.workloads.whisper import CTree, Echo, Memcached, Nstore, Vacation
+from repro.workloads.adversarial import CrossThreadPublish
 from repro.workloads.atlas import AtlasHeap, AtlasQueue, AtlasSkiplist
 from repro.workloads.buggy import BuggyDemo
 from repro.workloads.cceh import CCEH
@@ -67,11 +68,14 @@ MICROBENCHES: List[Type[Workload]] = [
     CoalescingMicrobench,
 ]
 
-#: lint fixtures: resolvable by name, but never part of the stock suite
-#: (``repro lint --all`` must stay zero-findings; these seed true
-#: positives for the detector tests -- see docs/lint.md).
+#: fixtures: resolvable by name, but never part of the stock suite
+#: (``repro lint --all`` must stay zero-findings and ``repro crashtest
+#: --all`` zero-violations; these seed true positives for the lint
+#: detector tests and the crash-sweep negative-path tests -- see
+#: docs/lint.md and docs/crashtest.md).
 FIXTURES: List[Type[Workload]] = [
     BuggyDemo,
+    CrossThreadPublish,
 ]
 
 _BY_NAME: Dict[str, Type[Workload]] = {

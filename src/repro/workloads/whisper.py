@@ -24,7 +24,7 @@ from repro.core.api import (
     Release,
     Store,
 )
-from repro.workloads.base import LINE, Workload, pmdk_tx
+from repro.workloads.base import LINE, ChainTagger, Workload, pmdk_tx
 
 
 class Nstore(Workload):
@@ -56,25 +56,33 @@ class Nstore(Workload):
             table = heap.alloc_lines(self.TUPLES_PER_PARTITION * 2)
             marker = heap.alloc_lines(1)
 
-            def program(rng=rng, log=log, table=table, marker=marker):
+            def program(rng=rng, log=log, table=table, marker=marker,
+                        thread=thread):
+                # crash oracle: commit marker ⇒ tuple ⇒ WAL record
+                chain = ChainTagger(f"nstore/t{thread}")
                 log_cursor = 0
                 for op in range(self.ops_per_thread):
                     value_size = rng.choice((16, 32, 64, 128))
                     tuple_index = rng.randrange(self.TUPLES_PER_PARTITION)
                     yield Compute(220)  # parse + plan
                     # 1. WAL append
-                    yield Store(log + (log_cursor % 60) * LINE, 64 + value_size // 2)
+                    yield Store(log + (log_cursor % 60) * LINE,
+                                64 + value_size // 2, chain.tag())
                     log_cursor += 2
                     yield OFence()
+                    chain.fence()
                     # 2. index lookup, then in-place tuple update
                     yield Compute(160)
                     yield Load(table + tuple_index * 2 * LINE, 8)
-                    yield Store(table + tuple_index * 2 * LINE, value_size)
+                    yield Store(table + tuple_index * 2 * LINE, value_size,
+                                chain.tag())
                     yield OFence()
+                    chain.fence()
                     # 3. post-update bookkeeping, then the commit marker
                     yield Compute(180)
-                    yield Store(marker, 8)
+                    yield Store(marker, 8, chain.tag())
                     yield DFence()
+                    chain.fence()
                     yield Compute(150)  # respond to client
 
             programs.append(program())
@@ -104,24 +112,31 @@ class Echo(Workload):
             rng = self._rng(thread)
             log = heap.alloc_lines(128)
 
-            def program(rng=rng, log=log):
+            def program(rng=rng, log=log, thread=thread):
+                # crash oracle: a published version must never be evident
+                # without the log record it points at.
+                chain = ChainTagger(f"echo/t{thread}")
                 cursor = 0
                 for op in range(self.ops_per_thread):
                     yield Compute(100)
                     # private log append: 2 lines of key+value
-                    yield Store(log + (cursor % 120) * LINE, 128)
+                    yield Store(log + (cursor % 120) * LINE, 128, chain.tag())
                     cursor += 2
                     yield OFence()
+                    chain.fence()
                     # publish to the shared version table every few ops
                     if op % 4 == 0:
                         stripe = rng.randrange(self.VERSION_STRIPES)
                         yield Acquire(stripe_locks[stripe])
                         yield Load(version_table + stripe * LINE, 8)
-                        yield Store(version_table + stripe * LINE, 16)
+                        yield Store(version_table + stripe * LINE, 16,
+                                    chain.tag())
                         yield OFence()
+                        chain.fence()
                         yield Release(stripe_locks[stripe])
                     if op % 8 == 7:
                         yield DFence()  # batch durability point
+                        chain.fence()
                 yield DFence()
 
             programs.append(program())
@@ -155,7 +170,8 @@ class Vacation(Workload):
             rng = self._rng(thread)
             log_slot = thread * 8 * LINE
 
-            def program(rng=rng, log_slot=log_slot):
+            def program(rng=rng, log_slot=log_slot, thread=thread):
+                chain = ChainTagger(f"vacation/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(200)  # client think time / query planning
                     yield Acquire(table_lock)
@@ -166,6 +182,7 @@ class Vacation(Workload):
                         tx_log,
                         log_slot,
                         [(reservations + pick * LINE, 32) for pick in picks],
+                        chain=chain,
                     )
                     # volatile bookkeeping while still holding the lock
                     yield Compute(400)
@@ -211,9 +228,10 @@ class CTree(Workload):
             rng = self._rng(thread)
             log_slot = thread * 8 * LINE
 
-            def program(rng=rng, log_slot=log_slot):
+            def program(rng=rng, log_slot=log_slot, thread=thread):
                 import bisect
 
+                chain = ChainTagger(f"ctree/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(130)  # key prep + crit-bit computation
                     key = rng.randrange(1 << 20)
@@ -250,6 +268,7 @@ class CTree(Workload):
                             (nodes + (parent_slot % self.NODE_POOL) * LINE, 8),
                         ],
                         work_cycles=80,
+                        chain=chain,
                     )
                     yield Release(tree_lock)
                     yield Compute(90)
@@ -290,7 +309,8 @@ class Memcached(Workload):
             rng = self._rng(thread)
             log_slot = thread * 8 * LINE
 
-            def program(rng=rng, log_slot=log_slot):
+            def program(rng=rng, log_slot=log_slot, thread=thread):
+                chain = ChainTagger(f"memcached/t{thread}")
                 for op in range(self.ops_per_thread):
                     yield Compute(180)  # request parse + hash
                     bucket = rng.randrange(self.BUCKETS)
@@ -303,6 +323,7 @@ class Memcached(Workload):
                         log_slot,
                         [(item, value_size), (buckets + bucket * LINE, 8)],
                         work_cycles=160,
+                        chain=chain,
                     )
                     yield Release(bucket_locks[bucket])
                     yield Compute(120)  # respond

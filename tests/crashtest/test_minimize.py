@@ -1,0 +1,103 @@
+"""Minimization unit tests on synthetic crash states.
+
+The integration path (a real workload producing a real violation that
+minimizes to a single-line media delta) lives in ``test_negative.py``;
+here the bisection and shrinking algorithms are pinned in isolation.
+"""
+
+import pytest
+
+from repro.core.crash import CrashState
+from repro.core.epoch import EpochLog
+from repro.core.models import resolve_model
+from repro.crashtest.minimize import (
+    bisect_crash_cycle,
+    minimize_failure,
+    shrink_media,
+)
+
+RC = resolve_model("asap_rp").run_config(seed=7)
+
+#: the judge fires iff line 0x40 survived with write 5.
+BAD = {0x40: 5}
+
+
+def _state(cycle, media):
+    return CrashState(
+        crash_cycle=cycle, media=dict(media), log=EpochLog(), run_config=RC
+    )
+
+
+def _judge(state):
+    return ["bad line"] if state.media.get(0x40) == 5 else []
+
+
+def _simulate(threshold):
+    """Failure appears exactly at ``threshold`` and persists after it."""
+
+    def simulate(cycle):
+        media = dict(BAD) if cycle >= threshold else {}
+        media[0x80] = 2  # noise that shrinking must remove
+        media[0xC0] = 7
+        return _state(cycle, media)
+
+    return simulate
+
+
+def test_bisect_finds_the_boundary_cycle():
+    calls = []
+
+    def counting(cycle):
+        calls.append(cycle)
+        return _simulate(37)(cycle)
+
+    cycle, state, violations, simulations = bisect_crash_cycle(
+        counting, _judge, failing_cycle=1000, passing_cycle=0
+    )
+    assert cycle == 37
+    assert violations == ["bad line"]
+    assert simulations == len(calls)
+    assert simulations <= 12  # ~log2(1000) + the initial reproduction
+
+
+def test_bisect_respects_the_passing_lower_bound():
+    cycle, _, _, _ = bisect_crash_cycle(
+        _simulate(500), _judge, failing_cycle=512, passing_cycle=490
+    )
+    assert cycle == 500
+
+
+def test_bisect_raises_when_failure_does_not_reproduce():
+    with pytest.raises(ValueError, match="does not fail"):
+        bisect_crash_cycle(_simulate(10**9), _judge, failing_cycle=100)
+
+
+def test_shrink_media_is_one_minimal():
+    state = _state(100, {0x40: 5, 0x80: 2, 0xC0: 7, 0x100: 9})
+    shrunk = shrink_media(state, _judge)
+    assert shrunk.media == BAD
+    assert _judge(shrunk)
+    # the original state is untouched
+    assert len(state.media) == 4
+
+
+def test_shrink_media_keeps_conjunctions():
+    def judge(state):
+        ok = state.media.get(0x40) == 5 and state.media.get(0x80) == 2
+        return ["pair"] if ok else []
+
+    state = _state(100, {0x40: 5, 0x80: 2, 0xC0: 7})
+    shrunk = shrink_media(state, judge)
+    assert shrunk.media == {0x40: 5, 0x80: 2}
+
+
+def test_minimize_failure_pipeline():
+    minimized = minimize_failure(
+        _simulate(37), _judge, failing_cycle=900, passing_cycle=0
+    )
+    assert minimized.state.crash_cycle == 37
+    assert minimized.state.media == BAD
+    assert minimized.original_cycle == 900
+    assert minimized.original_media_lines == 3
+    assert minimized.violations == ["bad line"]
+    assert minimized.simulations >= 2

@@ -1,0 +1,95 @@
+"""CrashState JSON serialization: exact, canonical, strict."""
+
+import pytest
+
+from repro.core.api import PMAllocator
+from repro.core.crash import run_and_crash
+from repro.core.models import resolve_model
+from repro.crashtest.serialize import (
+    STATE_KIND,
+    decode_payload,
+    dumps_state,
+    encode_payload,
+    loads_state,
+)
+from repro.sim.config import MachineConfig
+from repro.tx.undolog import CommitPayload, DataPayload, PVar, UndoPayload
+from repro.workloads import get_workload
+
+
+def _crash_state(workload="queue", model="asap_rp", cycle=400, ops=6):
+    w = get_workload(workload, ops_per_thread=ops)
+    machine = MachineConfig()
+    programs = w.programs(PMAllocator(), machine.num_cores)
+    run_config = resolve_model(model).run_config(seed=7)
+    return run_and_crash(machine, run_config, programs, cycle)
+
+
+def _assert_states_equal(a, b):
+    assert a.crash_cycle == b.crash_cycle
+    assert a.media == b.media
+    assert a.run_config == b.run_config
+    assert set(a.log.writes) == set(b.log.writes)
+    for wid, rec in a.log.writes.items():
+        assert b.log.writes[wid] == rec
+    assert a.log.line_order == b.log.line_order
+    assert a.log.dep_edges == b.log.dep_edges
+    assert a.log.strand_starts == b.log.strand_starts
+    assert a.log.max_ts == b.log.max_ts
+    assert a.log.payloads == b.log.payloads
+
+
+def test_round_trip_is_exact():
+    state = _crash_state()
+    loaded, meta = loads_state(dumps_state(state, {"note": "rt"}))
+    assert meta == {"note": "rt"}
+    _assert_states_equal(state, loaded)
+
+
+def test_round_trip_is_canonical_bytes():
+    state = _crash_state()
+    text = dumps_state(state, {"a": 1})
+    loaded, _ = loads_state(text)
+    assert dumps_state(loaded, {"a": 1}) == text
+
+
+def test_payload_codec_covers_tx_records_and_tuples():
+    payloads = [
+        None, True, 42, -1, 3.5, "abc",
+        ("ot", "queue/t0", 3),
+        ["x", ("y", 1)],
+        UndoPayload(tx_id=1, thread=0, tx_seq=2, var="a", old_value=9),
+        DataPayload(tx_id=1, var="a", value=10),
+        CommitPayload(thread=0, tx_seq=2, tx_id=1),
+        PVar("bal", 0x1000),
+    ]
+    for payload in payloads:
+        assert decode_payload(encode_payload(payload)) == payload
+    # tuples stay tuples, lists stay lists
+    assert isinstance(decode_payload(encode_payload((1, 2))), tuple)
+    assert isinstance(decode_payload(encode_payload([1, 2])), list)
+
+
+def test_unserializable_payload_is_a_hard_error():
+    with pytest.raises(TypeError, match="not serializable"):
+        encode_payload(object())
+
+
+def test_loads_rejects_wrong_kind_and_schema():
+    state = _crash_state(cycle=50)
+    text = dumps_state(state, {})
+    with pytest.raises(ValueError, match="not a repro-crashstate"):
+        loads_state(text.replace(STATE_KIND, "something-else"))
+    with pytest.raises(ValueError, match="unsupported"):
+        loads_state(text.replace('"schema": 1', '"schema": 999'))
+
+
+def test_round_trip_preserves_tx_payloads_from_a_real_run():
+    # vacation runs pmdk-style undo transactions whose chain tags are
+    # tuples; the serialized form must carry them through exactly.
+    state = _crash_state(workload="vacation", cycle=3000, ops=8)
+    loaded, _ = loads_state(dumps_state(state, {}))
+    _assert_states_equal(state, loaded)
+    assert any(
+        isinstance(p, tuple) for p in state.log.payloads.values()
+    ), "expected ordered-chain tuple payloads in the log"
