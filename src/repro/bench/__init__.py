@@ -1,0 +1,55 @@
+"""`repro.bench` -- the performance-measurement harness.
+
+The simulator's wall-clock performance is a first-class, regression-
+gated artifact:
+
+- :mod:`repro.bench.micro` -- tight loops over the hot structures
+  (event queue, persist buffer, WPQ, epoch table).
+- :mod:`repro.bench.suites` -- the pinned ``micro`` / ``macro`` /
+  ``smoke`` suites and the suite runner.
+- :mod:`repro.bench.record` -- canonical ``BENCH_<date>.json`` records
+  with machine fingerprint and git SHA.
+- :mod:`repro.bench.compare` -- the ``--compare A B --max-regress N%``
+  gate CI runs against ``benchmarks/results/baseline.json``.
+
+See ``docs/performance.md`` for usage and the baseline-update
+procedure.
+"""
+
+from repro.bench.compare import (
+    BenchDelta,
+    Comparison,
+    compare_records,
+    parse_max_regress,
+)
+from repro.bench.record import (
+    BenchRecord,
+    BenchResult,
+    current_git_sha,
+    machine_fingerprint,
+    peak_rss_kb,
+)
+from repro.bench.suites import (
+    SUITES,
+    BenchCase,
+    run_case,
+    run_suite,
+    suite_cases,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchDelta",
+    "BenchRecord",
+    "BenchResult",
+    "Comparison",
+    "SUITES",
+    "compare_records",
+    "current_git_sha",
+    "machine_fingerprint",
+    "parse_max_regress",
+    "peak_rss_kb",
+    "run_case",
+    "run_suite",
+    "suite_cases",
+]

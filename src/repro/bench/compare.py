@@ -1,0 +1,144 @@
+"""Record comparison: the perf-regression gate.
+
+``repro bench --compare BASE NEW --max-regress 10%`` loads two
+:class:`~repro.bench.record.BenchRecord` files, matches measurements by
+name, and fails when any common benchmark's throughput dropped by more
+than the allowed fraction.  The geomean speedup over all common
+benchmarks is reported alongside the per-bench ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.bench.record import BenchRecord
+
+
+def parse_max_regress(text: str) -> float:
+    """Parse a regression budget: ``"10%"`` or ``"0.10"`` -> ``0.10``."""
+    raw = text.strip()
+    if raw.endswith("%"):
+        value = float(raw[:-1]) / 100.0
+    else:
+        value = float(raw)
+    if not 0.0 <= value < 1.0:
+        raise ValueError(
+            f"max regress must be in [0%, 100%): {text!r}"
+        )
+    return value
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark present in both records."""
+
+    name: str
+    base_ops_per_sec: float
+    new_ops_per_sec: float
+    events_match: bool
+
+    @property
+    def ratio(self) -> float:
+        """New throughput over base (>1 = faster)."""
+        if self.base_ops_per_sec <= 0:
+            return 1.0
+        return self.new_ops_per_sec / self.base_ops_per_sec
+
+
+@dataclass
+class Comparison:
+    """The outcome of comparing two records."""
+
+    deltas: List[BenchDelta]
+    max_regress: float
+    only_base: List[str] = field(default_factory=list)
+    only_new: List[str] = field(default_factory=list)
+    machines_match: bool = True
+
+    @property
+    def geomean(self) -> float:
+        ratios = [d.ratio for d in self.deltas if d.ratio > 0]
+        if not ratios:
+            return 1.0
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        floor = 1.0 - self.max_regress
+        return [d for d in self.deltas if d.ratio < floor]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines: List[str] = []
+        width = max([len(d.name) for d in self.deltas] + [9])
+        floor = 1.0 - self.max_regress
+        header = (
+            f"{'benchmark':<{width}}  {'base ops/s':>12}  "
+            f"{'new ops/s':>12}  {'ratio':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for delta in self.deltas:
+            flag = ""
+            if delta.ratio < floor:
+                flag = "  REGRESSION"
+            elif not delta.events_match:
+                flag = "  (events differ: output changed, not comparable)"
+            lines.append(
+                f"{delta.name:<{width}}  {delta.base_ops_per_sec:>12.0f}  "
+                f"{delta.new_ops_per_sec:>12.0f}  {delta.ratio:>6.2f}x{flag}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'geomean':<{width}}  {'':>12}  {'':>12}  {self.geomean:>6.2f}x"
+        )
+        for name in self.only_base:
+            lines.append(f"only in base record: {name}")
+        for name in self.only_new:
+            lines.append(f"only in new record: {name}")
+        if not self.machines_match:
+            lines.append(
+                "warning: records come from different machines; wall-time "
+                "ratios may reflect hardware, not code"
+            )
+        gate = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"gate: {gate} (allowed regression "
+            f"{self.max_regress * 100:.0f}%, {len(self.regressions)} over)"
+        )
+        return "\n".join(lines)
+
+
+def compare_records(
+    base: BenchRecord, new: BenchRecord, max_regress: float = 0.10
+) -> Comparison:
+    """Match measurements by name and evaluate the regression gate."""
+    base_by_name = base.by_name()
+    new_by_name = new.by_name()
+    deltas = [
+        BenchDelta(
+            name=name,
+            base_ops_per_sec=base_by_name[name].ops_per_sec,
+            new_ops_per_sec=new_by_name[name].ops_per_sec,
+            events_match=(
+                base_by_name[name].events == new_by_name[name].events
+            ),
+        )
+        for name in sorted(base_by_name)
+        if name in new_by_name
+    ]
+    return Comparison(
+        deltas=deltas,
+        max_regress=max_regress,
+        only_base=sorted(set(base_by_name) - set(new_by_name)),
+        only_new=sorted(set(new_by_name) - set(base_by_name)),
+        machines_match=base.machine == new.machine,
+    )
+
+
+__all__ = ["BenchDelta", "Comparison", "compare_records", "parse_max_regress"]

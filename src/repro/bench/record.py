@@ -1,0 +1,190 @@
+"""Canonical benchmark records.
+
+A ``repro bench`` run emits one JSON document (``BENCH_<date>.json`` by
+default) holding every measurement plus the provenance needed to decide
+whether two records are comparable: the machine fingerprint and the git
+SHA the simulator was built from.  Records are the interchange format of
+the perf-regression gate: CI compares a fresh record against the
+committed ``benchmarks/results/baseline.json`` with
+``repro bench --compare``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+#: Bump when the record layout changes incompatibly.
+RECORD_SCHEMA_VERSION = 1
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Identify the machine a record was produced on.
+
+    Wall-time numbers are only comparable between records with matching
+    fingerprints; ``repro bench --compare`` warns (but does not refuse)
+    on a mismatch.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count() or 0,
+    }
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    """The repository HEAD, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - reports bytes
+        return int(usage // 1024)
+    return int(usage)
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement (the best wall time of ``reps`` runs)."""
+
+    name: str
+    suite: str
+    ops: int
+    wall_s: float
+    ops_per_sec: float
+    #: simulator events executed (micro) or simulated cycles (macro);
+    #: a determinism cross-check: must match between comparable records.
+    events: int
+    peak_rss_kb: int
+    reps: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "ops": self.ops,
+            "wall_s": self.wall_s,
+            "ops_per_sec": self.ops_per_sec,
+            "events": self.events,
+            "peak_rss_kb": self.peak_rss_kb,
+            "reps": self.reps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=str(data["name"]),
+            suite=str(data["suite"]),
+            ops=int(data["ops"]),
+            wall_s=float(data["wall_s"]),
+            ops_per_sec=float(data["ops_per_sec"]),
+            events=int(data.get("events", 0)),
+            peak_rss_kb=int(data.get("peak_rss_kb", 0)),
+            reps=int(data.get("reps", 1)),
+        )
+
+
+@dataclass
+class BenchRecord:
+    """A full ``repro bench`` emission: measurements plus provenance."""
+
+    suite: str
+    results: List[BenchResult]
+    created: str
+    git_sha: str
+    machine: Dict[str, Any] = field(default_factory=machine_fingerprint)
+    schema: int = RECORD_SCHEMA_VERSION
+
+    @classmethod
+    def build(cls, suite: str, results: List[BenchResult]) -> "BenchRecord":
+        return cls(
+            suite=suite,
+            results=results,
+            created=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            git_sha=current_git_sha(),
+        )
+
+    def default_filename(self) -> str:
+        """``BENCH_<UTC date>.json`` -- the canonical record name."""
+        return f"BENCH_{self.created[:10]}.json"
+
+    def by_name(self) -> Dict[str, BenchResult]:
+        return {result.name: result for result in self.results}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "created": self.created,
+            "git_sha": self.git_sha,
+            "machine": self.machine,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        schema = int(data.get("schema", 0))
+        if schema > RECORD_SCHEMA_VERSION:
+            raise ValueError(
+                f"bench record schema {schema} is newer than this tool "
+                f"understands ({RECORD_SCHEMA_VERSION})"
+            )
+        return cls(
+            suite=str(data.get("suite", "unknown")),
+            results=[
+                BenchResult.from_dict(entry)
+                for entry in data.get("results", [])
+            ],
+            created=str(data.get("created", "")),
+            git_sha=str(data.get("git_sha", "unknown")),
+            machine=dict(data.get("machine", {})),
+            schema=schema,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchRecord":
+        with open(path) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: not a bench record (expected object)")
+        return cls.from_dict(data)
+
+
+__all__ = [
+    "BenchRecord",
+    "BenchResult",
+    "RECORD_SCHEMA_VERSION",
+    "current_git_sha",
+    "machine_fingerprint",
+    "peak_rss_kb",
+]

@@ -291,6 +291,40 @@ def cmd_crashtest(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import (
+        BenchRecord,
+        compare_records,
+        parse_max_regress,
+        run_suite,
+    )
+
+    if args.compare:
+        base_path, new_path = args.compare
+        try:
+            threshold = parse_max_regress(args.max_regress)
+        except ValueError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_records(
+            BenchRecord.load(base_path), BenchRecord.load(new_path),
+            max_regress=threshold,
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    def progress(name, result) -> None:
+        print(f"  {name}: {result.ops_per_sec:,.0f} ops/s "
+              f"({result.wall_s:.3f}s best of {result.reps})")
+
+    print(f"running bench suite {args.suite!r} ({args.reps} reps per case)")
+    record = run_suite(args.suite, reps=args.reps, progress=progress)
+    out = args.out or record.default_filename()
+    record.save(out)
+    print(f"wrote {out} (git {record.git_sha[:12]})")
+    return 0
+
+
 def cmd_crash(args) -> int:
     workload = get_workload(args.workload, ops_per_thread=args.ops,
                             seed=args.seed)
@@ -430,6 +464,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_ct.add_argument("--cache-dir", metavar="DIR",
                       help="reuse deterministic results cached here")
     p_ct.set_defaults(func=cmd_crashtest)
+
+    from repro.bench.suites import SUITES
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator performance / gate perf regressions",
+    )
+    p_bench.add_argument("--suite", choices=sorted(SUITES), default="smoke",
+                         help="pinned benchmark suite to run "
+                         "(default: smoke)")
+    p_bench.add_argument("--reps", type=int, default=3,
+                         help="repetitions per case; best wall time wins "
+                         "(default: 3)")
+    p_bench.add_argument("--out", metavar="PATH",
+                         help="record path (default: BENCH_<date>.json)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
+                         help="compare two records instead of running; "
+                         "exit 1 on regression beyond --max-regress")
+    p_bench.add_argument("--max-regress", default="10%",
+                         help="allowed per-bench throughput drop for "
+                         "--compare, e.g. '10%%' or '0.1' (default: 10%%)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")

@@ -14,7 +14,7 @@ hash buckets; plain bits could not be cleared safely.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 
 class CountingBloomFilter:
@@ -27,14 +27,21 @@ class CountingBloomFilter:
         self.num_hashes = num_hashes
         self._counters = [0] * num_bits
         self._population = 0
+        self._index_memo: Dict[int, List[int]] = {}
 
     def _indices(self, line: int) -> List[int]:
+        # Pure function of the line address; memoized because every LLC
+        # eviction and every admitted flush probes the filter.
+        indices = self._index_memo.get(line)
+        if indices is not None:
+            return indices
         indices = []
         h = line
         for i in range(self.num_hashes):
             # Cheap deterministic double hashing over the line address.
             h = (h * 0x9E3779B97F4A7C15 + i * 0xBF58476D1CE4E5B9) & (2**64 - 1)
             indices.append((h >> 17) % self.num_bits)
+        self._index_memo[line] = indices
         return indices
 
     def add(self, line: int) -> None:
@@ -51,6 +58,10 @@ class CountingBloomFilter:
         therefore under-count another element -- callers (the MC NACK path)
         only discard lines they previously added.
         """
+        if self._population == 0:
+            # every counter is zero (adds and removes balanced), so the
+            # membership test below could never pass.
+            return
         indices = self._indices(line)
         if all(self._counters[i] > 0 for i in indices):
             for index in indices:
@@ -58,6 +69,8 @@ class CountingBloomFilter:
             self._population = max(0, self._population - 1)
 
     def __contains__(self, line: int) -> bool:
+        if self._population == 0:
+            return False
         return all(self._counters[i] > 0 for i in self._indices(line))
 
     def __len__(self) -> int:

@@ -17,15 +17,22 @@ the persist path:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.config import CacheConfig
 from repro.sim.engine import ns_to_cycles
-from repro.sim.stats import StatsRegistry
+from repro.sim.stats import Counter, StatsRegistry
 
 
 class Cache:
-    """One set-associative LRU cache level."""
+    """One set-associative LRU cache level.
+
+    Sets are allocated lazily: workloads touch a tiny fraction of (say)
+    the LLC's 16384 sets, and eagerly building one OrderedDict per set
+    made machine construction a measurable fraction of short runs.  Stat
+    counters are bound on first use -- binding them eagerly would create
+    zero-valued rows in stats.txt that the lazy registry never had.
+    """
 
     def __init__(self, config: CacheConfig, stats: StatsRegistry, scope: str) -> None:
         self.config = config
@@ -35,27 +42,49 @@ class Cache:
         self.num_sets = config.num_sets
         self.ways = config.ways
         self.line_bytes = config.line_bytes
-        self._sets: List["OrderedDict[int, bool]"] = [
-            OrderedDict() for _ in range(self.num_sets)
-        ]
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self._hits: Optional[Counter] = None
+        self._misses: Optional[Counter] = None
+        self._evictions: Optional[Counter] = None
 
     def _set_of(self, line: int) -> "OrderedDict[int, bool]":
-        return self._sets[(line // self.line_bytes) % self.num_sets]
+        index = (line // self.line_bytes) % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
+        return cache_set
 
     def lookup(self, line: int, touch: bool = True) -> bool:
         """Return True on hit.  ``touch`` refreshes LRU order."""
-        cache_set = self._set_of(line)
+        # _set_of inlined: lookup/fill run on every access of every level.
+        index = (line // self.line_bytes) % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
         if line in cache_set:
             if touch:
                 cache_set.move_to_end(line)
-            self.stats.inc("cache_hits", scope=self.scope)
+            counter = self._hits
+            if counter is None:
+                counter = self._hits = self.stats.counter(
+                    "cache_hits", scope=self.scope
+                )
+            counter.inc()
             return True
-        self.stats.inc("cache_misses", scope=self.scope)
+        counter = self._misses
+        if counter is None:
+            counter = self._misses = self.stats.counter(
+                "cache_misses", scope=self.scope
+            )
+        counter.inc()
         return False
 
     def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Insert ``line``; return the evicted ``(line, dirty)`` if any."""
-        cache_set = self._set_of(line)
+        index = (line // self.line_bytes) % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
         if line in cache_set:
             cache_set[line] = cache_set[line] or dirty
             cache_set.move_to_end(line)
@@ -63,7 +92,12 @@ class Cache:
         victim: Optional[Tuple[int, bool]] = None
         if len(cache_set) >= self.ways:
             victim = cache_set.popitem(last=False)
-            self.stats.inc("cache_evictions", scope=self.scope)
+            counter = self._evictions
+            if counter is None:
+                counter = self._evictions = self.stats.counter(
+                    "cache_evictions", scope=self.scope
+                )
+            counter.inc()
         cache_set[line] = dirty
         return victim
 

@@ -36,21 +36,40 @@ class LineState(enum.Enum):
     INVALID = "I"
 
 
-@dataclass
-class Transition:
-    """What one access did to the protocol state."""
+_NO_CORES: List[int] = []
 
-    #: the requester's resulting state for the line.
-    new_state: LineState
-    #: cores whose copies were invalidated (write) or downgraded (read).
-    invalidated: List[int] = field(default_factory=list)
-    downgraded: List[int] = field(default_factory=list)
-    #: last *writer* of the line, with its epoch -- the dependence payload
-    #: a forwarded request carries (None if the line was never written or
-    #: the requester is that writer).
-    source: Optional[OwnerInfo] = None
-    #: True when the data came from another core's cache (M/E holder).
-    cache_to_cache: bool = False
+
+class Transition:
+    """What one access did to the protocol state.
+
+    A plain slotted class: one is allocated per memory access, so the
+    dataclass machinery (and two fresh empty lists per silent hit) was
+    measurable.  The shared empty-list default is never mutated -- the
+    protocol methods always pass freshly built lists when non-empty.
+    """
+
+    __slots__ = ("new_state", "invalidated", "downgraded", "source",
+                 "cache_to_cache")
+
+    def __init__(
+        self,
+        new_state: LineState,
+        invalidated: Optional[List[int]] = None,
+        downgraded: Optional[List[int]] = None,
+        source: Optional[OwnerInfo] = None,
+        cache_to_cache: bool = False,
+    ) -> None:
+        #: the requester's resulting state for the line.
+        self.new_state = new_state
+        #: cores whose copies were invalidated (write) or downgraded (read).
+        self.invalidated = _NO_CORES if invalidated is None else invalidated
+        self.downgraded = _NO_CORES if downgraded is None else downgraded
+        #: last *writer* of the line, with its epoch -- the dependence
+        #: payload a forwarded request carries (None if the line was never
+        #: written or the requester is that writer).
+        self.source = source
+        #: True when the data came from another core's cache (M/E holder).
+        self.cache_to_cache = cache_to_cache
 
 
 @dataclass
@@ -119,7 +138,7 @@ class MESIDirectory:
         state = entry.states.get(core, LineState.INVALID)
         invalidated: List[int] = []
         cache_to_cache = False
-        if state is not LineState.MODIFIED:
+        if state is not LineState.MODIFIED and entry.states:
             for other, other_state in list(entry.states.items()):
                 if other == core:
                     continue
@@ -195,7 +214,8 @@ class MESIDirectory:
     def check_swmr(self, line: int) -> None:
         """Single-writer / multiple-reader: an M or E holder is alone."""
         entry = self._lines.get(line)
-        if entry is None:
+        if entry is None or len(entry.states) <= 1:
+            # a lone holder (or none) cannot violate either clause below.
             return
         exclusive = [
             core for core, state in entry.states.items()

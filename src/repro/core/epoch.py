@@ -77,14 +77,41 @@ class EpochEntry:
         self.dep_resolved = False
 
 
-@dataclass(frozen=True)
 class WriteRecord:
-    """One persistent store, as the checker sees it."""
+    """One persistent store, as the checker sees it.
 
-    write_id: int
-    line: int
-    core: int
-    epoch_ts: int
+    Slotted plain class with value equality/hash (it used to be a frozen
+    dataclass, whose ``object.__setattr__``-based init showed up in
+    profiles -- one record is allocated per store).  Treat instances as
+    immutable.
+    """
+
+    __slots__ = ("write_id", "line", "core", "epoch_ts")
+
+    def __init__(self, write_id: int, line: int, core: int, epoch_ts: int) -> None:
+        self.write_id = write_id
+        self.line = line
+        self.core = core
+        self.epoch_ts = epoch_ts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WriteRecord):
+            return NotImplemented
+        return (
+            self.write_id == other.write_id
+            and self.line == other.line
+            and self.core == other.core
+            and self.epoch_ts == other.epoch_ts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.write_id, self.line, self.core, self.epoch_ts))
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteRecord(write_id={self.write_id}, line={self.line:#x}, "
+            f"core={self.core}, epoch_ts={self.epoch_ts})"
+        )
 
 
 class EpochLog:
@@ -116,7 +143,12 @@ class EpochLog:
             write_id=write_id, line=line, core=core, epoch_ts=epoch_ts
         )
         self.writes[write_id] = record
-        self.line_order.setdefault(line, []).append(write_id)
+        # get-then-insert instead of setdefault: setdefault builds (and
+        # usually throws away) a fresh list on every store.
+        order = self.line_order.get(line)
+        if order is None:
+            order = self.line_order[line] = []
+        order.append(write_id)
         self._bump_ts(core, epoch_ts)
         if payload is not None:
             self.payloads[write_id] = payload

@@ -94,8 +94,25 @@ class _Lock:
     last_release: Optional[EpochId] = None
 
 
+#: memoized ``type(op).__name__.lower()`` (traced path only).
+_OP_KINDS: Dict[type, str] = {}
+
+
+def _op_kind(op: Op) -> str:
+    cls = type(op)
+    kind = _OP_KINDS.get(cls)
+    if kind is None:
+        kind = cls.__name__.lower()
+        _OP_KINDS[cls] = kind
+    return kind
+
+
 class _CoreUnit:
     """Drives one thread program through the event engine."""
+
+    __slots__ = ("machine", "index", "program", "finished", "finish_time",
+                 "ops_executed", "_tracer", "_dispatch",
+                 "ofence_counter", "dfence_counter")
 
     def __init__(self, machine: "Machine", index: int, program: Program) -> None:
         self.machine = machine
@@ -104,6 +121,14 @@ class _CoreUnit:
         self.finished = False
         self.finish_time: Optional[int] = None
         self.ops_executed = 0
+        # Snapshot the hot collaborators: cores are built after the tracer
+        # is attached, so `advance` pays one local load instead of two
+        # attribute chains per retired op.
+        self._tracer = machine.tracer
+        self._dispatch = machine.dispatch
+        #: per-core fence counters, bound on first fence (see Machine).
+        self.ofence_counter = None
+        self.dfence_counter = None
 
     def start(self) -> None:
         self.machine.engine.schedule(0, self.advance)
@@ -115,13 +140,13 @@ class _CoreUnit:
             self._end()
             return
         self.ops_executed += 1
-        tracer = self.machine.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
                 EventType.OP_RETIRED, "core", core=self.index,
-                kind=type(op).__name__.lower(),
+                kind=_op_kind(op),
             )
-        self.machine.dispatch(self, op)
+        self._dispatch(self, op)
 
     def _end(self) -> None:
         path = self.machine.paths[self.index]
@@ -211,6 +236,18 @@ class Machine:
         self._build_caches()
         if self.tracer is not None:
             self._attach_tracer()
+        #: concrete op type -> handler; insertion order mirrors the old
+        #: isinstance chain (see :meth:`dispatch`).
+        self._op_handlers: Dict[type, Callable[[_CoreUnit, Op], None]] = {
+            Store: self._do_store,
+            Load: self._do_load,
+            Compute: self._do_compute,
+            OFence: self._do_ofence,
+            DFence: self._do_dfence,
+            Acquire: self._do_acquire,
+            Release: self._do_release,
+            NewStrand: self._do_new_strand,
+        }
         self.cores: List[_CoreUnit] = []
 
     # ------------------------------------------------------------------
@@ -512,45 +549,61 @@ class Machine:
     # ------------------------------------------------------------------
 
     def dispatch(self, core: _CoreUnit, op: Op) -> None:
-        if isinstance(op, Store):
-            self._do_store(core, op)
-        elif isinstance(op, Load):
-            self._do_load(core, op)
-        elif isinstance(op, Compute):
-            self.engine.schedule(max(1, op.cycles), core.advance)
-        elif isinstance(op, OFence):
-            self.stats.inc("ofences", scope=f"core{core.index}")
-            self.paths[core.index].on_ofence(
+        # Dict-dispatch on the concrete op type replaces the old isinstance
+        # chain (one hash lookup instead of up to eight type checks).  Op
+        # subclasses fall back to the isinstance walk once, then get their
+        # own cache slot; insertion order of _op_handlers preserves the
+        # original chain's precedence for that walk.
+        handlers = self._op_handlers
+        handler = handlers.get(type(op))
+        if handler is None:
+            for base, candidate in list(handlers.items()):
+                if isinstance(op, base):
+                    handler = handlers[type(op)] = candidate
+                    break
+            else:
+                raise TypeError(f"unknown op: {op!r}")
+        handler(core, op)
+
+    def _do_compute(self, core: _CoreUnit, op: Compute) -> None:
+        self.engine.schedule(max(1, op.cycles), core.advance)
+
+    def _do_ofence(self, core: _CoreUnit, op: OFence) -> None:
+        counter = core.ofence_counter
+        if counter is None:
+            counter = core.ofence_counter = self.stats.counter(
+                "ofences", scope=f"core{core.index}"
+            )
+        counter.inc()
+        self.paths[core.index].on_ofence(
+            lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
+        )
+
+    def _do_dfence(self, core: _CoreUnit, op: DFence) -> None:
+        counter = core.dfence_counter
+        if counter is None:
+            counter = core.dfence_counter = self.stats.counter(
+                "dfences", scope=f"core{core.index}"
+            )
+        counter.inc()
+        if self.tracer is None:
+            self.paths[core.index].on_dfence(
                 lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
             )
-        elif isinstance(op, DFence):
-            self.stats.inc("dfences", scope=f"core{core.index}")
-            if self.tracer is None:
-                self.paths[core.index].on_dfence(
-                    lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
-                )
-            else:
-                self.tracer.emit(
-                    EventType.DFENCE_BEGIN, "core", core=core.index
-                )
-
-                def dfence_done() -> None:
-                    self.tracer.emit(
-                        EventType.DFENCE_END, "core", core=core.index
-                    )
-                    self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
-
-                self.paths[core.index].on_dfence(dfence_done)
-        elif isinstance(op, Acquire):
-            self._do_acquire(core, op)
-        elif isinstance(op, Release):
-            self._do_release(core, op)
-        elif isinstance(op, NewStrand):
-            self._do_new_strand(core)
         else:
-            raise TypeError(f"unknown op: {op!r}")
+            self.tracer.emit(
+                EventType.DFENCE_BEGIN, "core", core=core.index
+            )
 
-    def _do_new_strand(self, core: _CoreUnit) -> None:
+            def dfence_done() -> None:
+                self.tracer.emit(
+                    EventType.DFENCE_END, "core", core=core.index
+                )
+                self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
+
+            self.paths[core.index].on_dfence(dfence_done)
+
+    def _do_new_strand(self, core: _CoreUnit, op: NewStrand) -> None:
         path = self.paths[core.index]
         relaxed = path.on_new_strand(
             lambda: self.engine.schedule(FENCE_ISSUE_CYCLES, core.advance)
@@ -566,15 +619,17 @@ class Machine:
 
     def _do_store(self, core: _CoreUnit, op: Store) -> None:
         lines = self.amap.lines_of(op.addr, op.size)
-        self._store_lines(core, lines, op.payload)
+        self._store_lines(core, lines, op.payload, 0)
 
     def _store_lines(
-        self, core: _CoreUnit, lines: List[int], payload: object
+        self, core: _CoreUnit, lines: List[int], payload: object, pos: int = 0
     ) -> None:
-        if not lines:
+        # `lines` is the AddressMap's memoized (shared, read-only) list;
+        # walking it by index avoids re-slicing a fresh list per line.
+        if pos >= len(lines):
             self.engine.schedule(STORE_ISSUE_CYCLES, core.advance)
             return
-        line, rest = lines[0], lines[1:]
+        line = lines[pos]
         index = core.index
         hierarchy = self.hierarchies[index]
         hierarchy.access_ex(line, is_write=True)
@@ -599,7 +654,7 @@ class Machine:
         def stored() -> None:
             self.engine.schedule(
                 STORE_ISSUE_CYCLES + extra,
-                lambda: self._store_lines(core, rest, payload),
+                lambda: self._store_lines(core, lines, payload, pos + 1),
             )
 
         path.on_store(line, write_id, stored)

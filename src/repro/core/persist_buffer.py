@@ -25,8 +25,7 @@ distribution.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs.events import EventType, StallReason
 from repro.sim.engine import Engine, Waiter
@@ -52,16 +51,39 @@ class EnqueueResult(enum.Enum):
     FULL = "full"
 
 
-@dataclass
 class PBEntry:
-    """One buffered write."""
+    """One buffered write.
 
-    seq: int  # per-buffer sequence number (FIFO order, WBB handle)
-    line: int
-    write_id: int
-    epoch_ts: int
-    state: PBEntryState = PBEntryState.QUEUED
-    issued_early: bool = False
+    A plain slotted class (not a dataclass): entries are identity-compared
+    -- ``seq`` is unique per buffer, so value equality never differed from
+    identity -- and allocated on every store, which makes the dataclass
+    machinery measurable overhead.
+    """
+
+    __slots__ = ("seq", "line", "write_id", "epoch_ts", "state", "issued_early")
+
+    def __init__(
+        self,
+        seq: int,  # per-buffer sequence number (FIFO order, WBB handle)
+        line: int,
+        write_id: int,
+        epoch_ts: int,
+        state: PBEntryState = PBEntryState.QUEUED,
+        issued_early: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.line = line
+        self.write_id = write_id
+        self.epoch_ts = epoch_ts
+        self.state = state
+        self.issued_early = issued_early
+
+    def __repr__(self) -> str:
+        return (
+            f"PBEntry(seq={self.seq}, line={self.line:#x}, "
+            f"write_id={self.write_id}, epoch_ts={self.epoch_ts}, "
+            f"state={self.state}, issued_early={self.issued_early})"
+        )
 
 
 class PersistBuffer:
@@ -85,6 +107,10 @@ class PersistBuffer:
         self.scope = scope
         self.core = core
         self.entries: List[PBEntry] = []
+        #: buffered entries per line -- lets the enqueue coalesce scan and
+        #: the eviction-path :meth:`contains_line` probe skip the common
+        #: "line not buffered" case without touching the entry list.
+        self._line_counts: Dict[int, int] = {}
         self.space_waiter = Waiter(engine)
         self.drain_waiter = Waiter(engine)
         self._seq = 0
@@ -94,6 +120,8 @@ class PersistBuffer:
         #: epoch of the oldest waiting entry when blocking began, so the
         #: eventual STALL_END can attribute the blocked interval.
         self._blocked_epoch: Optional[int] = None
+        #: lazily bound hot counter (see :meth:`enqueue`).
+        self._inserted = None
         #: optional :class:`repro.obs.Tracer`; None = tracing off.
         self.tracer = None
         self._occupancy = stats.weighted("pb_occupancy", capacity, scope=scope)
@@ -131,7 +159,7 @@ class PersistBuffer:
         return not self.entries
 
     def contains_line(self, line: int) -> bool:
-        return any(e.line == line for e in self.entries)
+        return line in self._line_counts
 
     def occupancy_stat(self):
         return self._occupancy
@@ -148,20 +176,24 @@ class PersistBuffer:
         and produce a single ACK (the caller's epoch accounting must not
         count a coalesced store as an extra outstanding write).
         """
-        for entry in self.entries:
-            if (
-                entry.line == line
-                and entry.epoch_ts == epoch_ts
-                and entry.state is not PBEntryState.INFLIGHT
-            ):
-                entry.write_id = write_id
-                self.stats.inc("pb_coalesced", scope=self.scope)
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        EventType.PB_COALESCE, "pb", core=self.core,
-                        epoch=epoch_ts, line=line,
-                    )
-                return EnqueueResult.COALESCED
+        if line in self._line_counts:
+            # coalesce scan only when the line is actually buffered; the
+            # list order decides which entry wins, exactly as before.
+            inflight = PBEntryState.INFLIGHT
+            for entry in self.entries:
+                if (
+                    entry.line == line
+                    and entry.epoch_ts == epoch_ts
+                    and entry.state is not inflight
+                ):
+                    entry.write_id = write_id
+                    self.stats.inc("pb_coalesced", scope=self.scope)
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            EventType.PB_COALESCE, "pb", core=self.core,
+                            epoch=epoch_ts, line=line,
+                        )
+                    return EnqueueResult.COALESCED
         if self.full:
             return EnqueueResult.FULL
         entry = PBEntry(
@@ -169,7 +201,15 @@ class PersistBuffer:
         )
         self._seq += 1
         self.entries.append(entry)
-        self.stats.inc("entriesInserted", scope=self.scope)
+        self._line_counts[line] = self._line_counts.get(line, 0) + 1
+        counter = self._inserted
+        if counter is None:
+            # bound on first use (not eagerly) so a buffer that never
+            # enqueues creates no zero-valued stats row.
+            counter = self._inserted = self.stats.counter(
+                "entriesInserted", scope=self.scope
+            )
+        counter.inc()
         self._occupancy.update(self.engine.now, len(self.entries))
         if self.tracer is not None:
             self.tracer.emit(
@@ -189,14 +229,23 @@ class PersistBuffer:
         self._reassess()
 
     def _reassess(self) -> None:
-        self._update_blocked()
-        self._try_issue()
+        # Evaluate the (pure) selection policy exactly once and share the
+        # result between blocked-cycle accounting and the issue attempt;
+        # the old code scanned the buffer twice per reassessment.  The
+        # waiting check is O(1): ``_inflight`` counts exactly the entries
+        # in the INFLIGHT state, so any surplus entry is waiting.
+        waiting = len(self.entries) > self._inflight
+        selected = self.select_entry(self) if waiting else None
+        blocked = waiting and selected is None
+        # skip the call entirely in the steady state (not blocked, no
+        # open blocked interval) -- _update_blocked would be a no-op.
+        if blocked or self._blocked_since is not None:
+            self._update_blocked(blocked)
+        if selected is not None:
+            self._try_issue(selected)
 
-    def _try_issue(self) -> None:
+    def _try_issue(self, entry: PBEntry) -> None:
         if self._port_busy or self._inflight >= self.inflight_max:
-            return
-        entry = self.select_entry(self)
-        if entry is None:
             return
         self._port_busy = True
         self._inflight += 1
@@ -211,7 +260,10 @@ class PersistBuffer:
                 "pb", core=self.core, epoch=entry.epoch_ts, line=entry.line,
             )
         self.on_issue(entry)
-        self._update_blocked()
+        waiting = len(self.entries) > self._inflight
+        blocked = waiting and self.select_entry(self) is None
+        if blocked or self._blocked_since is not None:
+            self._update_blocked(blocked)
         self.engine.schedule(self.issue_cycles, self._port_free)
         self.send_flush(entry)
 
@@ -227,6 +279,11 @@ class PersistBuffer:
         """The controller accepted the flush; the write is durable."""
         self._inflight -= 1
         self.entries.remove(entry)
+        count = self._line_counts[entry.line] - 1
+        if count:
+            self._line_counts[entry.line] = count
+        else:
+            del self._line_counts[entry.line]
         self._occupancy.update(self.engine.now, len(self.entries))
         if self.tracer is not None:
             self.tracer.emit(
@@ -254,23 +311,26 @@ class PersistBuffer:
         self._reassess()
 
     def _oldest_seq(self) -> int:
+        # Entries are appended in increasing seq order and removals keep
+        # relative order, so the list is always seq-sorted: the head IS
+        # the minimum (the old code scanned the whole buffer).
         if not self.entries:
             return self._seq
-        return min(e.seq for e in self.entries)
+        return self.entries[0].seq
 
     # ------------------------------------------------------------------
     # Figure 3: blocked-cycle accounting
     # ------------------------------------------------------------------
 
-    def _update_blocked(self) -> None:
+    def _update_blocked(self, blocked: bool) -> None:
         """Blocked = waiting entries exist but the policy can't issue any.
 
         Cycles spent actively flushing (port busy with a selected entry)
         are not blocked; cycles where ordering rules leave waiting entries
-        stranded are.
+        stranded are.  ``blocked`` is computed by the caller from a single
+        (pure) policy evaluation; callers skip the call when it would be a
+        no-op (not blocked, no open interval).
         """
-        waiting = any(e.state is not PBEntryState.INFLIGHT for e in self.entries)
-        blocked = waiting and self.select_entry(self) is None
         now = self.engine.now
         if blocked and self._blocked_since is None:
             self._blocked_since = now
@@ -357,18 +417,25 @@ def make_eager_policy(
         #: same-epoch write to the same line must not bypass it -- the
         #: controller cannot tell intra-epoch ages apart, so the buffer
         #: preserves same-address order within an epoch (the NACK retry
-        #: path is where bypassing would otherwise happen).
-        held: set = set()
+        #: path is where bypassing would otherwise happen).  The set (and
+        #: its key tuples) is only materialized once something is actually
+        #: held back; the common case -- nothing NACKed, no fallback --
+        #: returns the first queued entry without allocating.
+        held: Optional[set] = None
+        inflight = PBEntryState.INFLIGHT
+        nack_wait = PBEntryState.NACK_WAIT
         for entry in pb.entries:
-            if entry.state is PBEntryState.INFLIGHT:
+            state = entry.state
+            if state is inflight:
                 continue
-            key = (entry.line, entry.epoch_ts)
-            if key in held:
+            if held is not None and (entry.line, entry.epoch_ts) in held:
                 continue
-            if entry.state is PBEntryState.NACK_WAIT or conservative:
+            if state is nack_wait or conservative:
                 if is_safe(entry.epoch_ts):
                     return entry
-                held.add(key)
+                if held is None:
+                    held = set()
+                held.add((entry.line, entry.epoch_ts))
                 continue
             return entry
         return None

@@ -175,6 +175,10 @@ class RecoveryTable:
         commits (a bug the exhaustive protocol checker caught).  Returns
         the number of records dropped.
         """
+        if not self._delay:
+            # nothing to supersede -- skip the list rebuild (this runs on
+            # every flush arrival; delay records are rare).
+            return 0
         before = len(self._delay)
         self._delay = [
             record for record in self._delay

@@ -26,8 +26,9 @@ crash drain writes to the media.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
 
 from repro.obs.events import EventType
 from repro.sim.engine import Engine, ns_to_cycles
@@ -45,24 +46,46 @@ class ResponseKind(enum.Enum):
     NACK = "nack"
 
 
-@dataclass
 class FlushPacket:
-    """A cache-line flush travelling from a persist buffer to a controller."""
+    """A cache-line flush travelling from a persist buffer to a controller.
 
-    line: int
-    write_id: int
-    core: int
-    epoch_ts: int
-    early: bool
-    seq: int = 0
+    Slotted plain class (not a dataclass): one is allocated per flush, on
+    the simulator's hottest path."""
+
+    __slots__ = ("line", "write_id", "core", "epoch_ts", "early", "seq")
+
+    def __init__(
+        self,
+        line: int,
+        write_id: int,
+        core: int,
+        epoch_ts: int,
+        early: bool,
+        seq: int = 0,
+    ) -> None:
+        self.line = line
+        self.write_id = write_id
+        self.core = core
+        self.epoch_ts = epoch_ts
+        self.early = early
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (
+            f"FlushPacket(line={self.line:#x}, write_id={self.write_id}, "
+            f"core={self.core}, epoch_ts={self.epoch_ts}, "
+            f"early={self.early}, seq={self.seq})"
+        )
 
 
-@dataclass
 class FlushResponse:
     """The controller's answer, routed back to the issuing persist buffer."""
 
-    packet: FlushPacket
-    kind: ResponseKind
+    __slots__ = ("packet", "kind")
+
+    def __init__(self, packet: FlushPacket, kind: ResponseKind) -> None:
+        self.packet = packet
+        self.kind = kind
 
 
 @dataclass
@@ -141,9 +164,14 @@ class MemoryController:
         self.adr_value: Dict[int, int] = {}
         #: responses are delivered through this hook (wired by the machine).
         self.respond: Callable[[FlushResponse], None] = lambda resp: None
-        self._input: List[object] = []
+        #: deque: packets are consumed head-first, which list.pop(0) made O(n).
+        self._input: Deque[object] = deque()
         self._processing = False
         self._drains_outstanding = 0
+        #: lazily bound hot counters (first-use binding keeps zero-valued
+        #: rows out of stats.txt for idle controllers).
+        self._admitted_counter = None
+        self._write_bytes_counter = None
 
     # ------------------------------------------------------------------
     # value plane
@@ -179,7 +207,7 @@ class MemoryController:
         self._kick()
 
     def _process_head(self) -> None:
-        item = self._input.pop(0)
+        item = self._input.popleft()
         if isinstance(item, FlushPacket):
             self._process_flush(item)
         else:
@@ -282,7 +310,12 @@ class MemoryController:
         """
         if self.wpq.push(packet.line, packet.write_id):
             self.adr_value[packet.line] = packet.write_id
-            self.stats.inc("flushes_admitted", scope=self.scope)
+            counter = self._admitted_counter
+            if counter is None:
+                counter = self._admitted_counter = self.stats.counter(
+                    "flushes_admitted", scope=self.scope
+                )
+            counter.inc()
             self._finish_bloom(packet.line)
             self._ack(packet, ack_delay)
             self._pump_drain()
@@ -360,7 +393,12 @@ class MemoryController:
             entry = self.wpq.pop_head()
             assert entry is not None
             self._drains_outstanding += 1
-            self.stats.inc("pm_write_bytes", CACHE_LINE_BYTES, scope=self.scope)
+            counter = self._write_bytes_counter
+            if counter is None:
+                counter = self._write_bytes_counter = self.stats.counter(
+                    "pm_write_bytes", scope=self.scope
+                )
+            counter.inc(CACHE_LINE_BYTES)
             self.nvm.write(entry.line, entry.write_id, self._drain_done)
 
     def _drain_done(self) -> None:

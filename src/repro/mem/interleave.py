@@ -13,7 +13,16 @@ from repro.sim.config import CACHE_LINE_BYTES
 
 
 class AddressMap:
-    """Maps byte addresses to cache lines and cache lines to controllers."""
+    """Maps byte addresses to cache lines and cache lines to controllers.
+
+    Both decompositions are memoized: workloads touch a bounded set of
+    addresses millions of times, so the arithmetic runs once per distinct
+    ``(addr, size)`` / ``line``.  The list :meth:`lines_of` returns is the
+    cached object itself -- callers must treat it as read-only.
+    """
+
+    __slots__ = ("num_mcs", "interleave_bytes", "line_bytes",
+                 "_lines_memo", "_mc_memo")
 
     def __init__(
         self,
@@ -28,18 +37,27 @@ class AddressMap:
         self.num_mcs = num_mcs
         self.interleave_bytes = interleave_bytes
         self.line_bytes = line_bytes
+        self._lines_memo: dict = {}
+        self._mc_memo: dict = {}
 
     def line_of(self, addr: int) -> int:
         """Cache-line address (aligned) containing byte ``addr``."""
         return addr - (addr % self.line_bytes)
 
     def lines_of(self, addr: int, size: int) -> list[int]:
-        """All cache-line addresses touched by ``[addr, addr + size)``."""
-        if size <= 0:
-            raise ValueError("size must be positive")
-        first = self.line_of(addr)
-        last = self.line_of(addr + size - 1)
-        return list(range(first, last + 1, self.line_bytes))
+        """All cache-line addresses touched by ``[addr, addr + size)``.
+
+        The returned list is shared across calls; do not mutate it."""
+        key = (addr, size)
+        lines = self._lines_memo.get(key)
+        if lines is None:
+            if size <= 0:
+                raise ValueError("size must be positive")
+            first = self.line_of(addr)
+            last = self.line_of(addr + size - 1)
+            lines = list(range(first, last + 1, self.line_bytes))
+            self._lines_memo[key] = lines
+        return lines
 
     def mc_of(self, addr: int) -> int:
         """Index of the memory controller owning byte ``addr``."""
@@ -47,7 +65,11 @@ class AddressMap:
 
     def mc_of_line(self, line: int) -> int:
         """Index of the memory controller owning cache line ``line``."""
-        return self.mc_of(line)
+        mc = self._mc_memo.get(line)
+        if mc is None:
+            mc = (line // self.interleave_bytes) % self.num_mcs
+            self._mc_memo[line] = mc
+        return mc
 
 
 __all__ = ["AddressMap"]

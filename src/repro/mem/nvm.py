@@ -17,8 +17,8 @@ cheap.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.sim.engine import Engine, ns_to_cycles
 from repro.sim.config import NVMConfig
@@ -86,12 +86,19 @@ class NVMDevice:
         self.media: Dict[int, int] = {}
         self.xpbuffer = XPBuffer(config.xpbuffer_lines)
         self._busy_banks = 0
-        self._write_queue: list[tuple[int, int, Optional[Callable[[], None]]]] = []
+        self._write_queue: Deque[
+            Tuple[int, int, Optional[Callable[[], None]]]
+        ] = deque()
         self._read_cycles = ns_to_cycles(config.read_latency_ns)
         self._write_cycles = ns_to_cycles(config.write_latency_ns)
         #: XPBuffer hits complete at a fraction of the media latency.
         self._buffered_write_cycles = max(1, self._write_cycles // 4)
         self._buffered_read_cycles = max(1, self._read_cycles // 8)
+        #: lazily bound hot counters (bound on first use so a device that
+        #: never reads/writes creates no zero-valued stats rows).
+        self._writes_counter = None
+        self._read_hits_counter = None
+        self._reads_counter = None
 
     # -- value plane --------------------------------------------------------
 
@@ -115,9 +122,19 @@ class NVMDevice:
         the internal buffer, so ASAP's extra media reads stay small).
         """
         if self.xpbuffer.access(line):
-            self.stats.inc("xpbuffer_read_hits", scope=self.scope)
+            counter = self._read_hits_counter
+            if counter is None:
+                counter = self._read_hits_counter = self.stats.counter(
+                    "xpbuffer_read_hits", scope=self.scope
+                )
+            counter.inc()
             return self._buffered_read_cycles
-        self.stats.inc("pm_reads", scope=self.scope)
+        counter = self._reads_counter
+        if counter is None:
+            counter = self._reads_counter = self.stats.counter(
+                "pm_reads", scope=self.scope
+            )
+        counter.inc()
         return self._read_cycles
 
     def write(
@@ -128,7 +145,12 @@ class NVMDevice:
         The value plane is updated when the write *completes* so that
         ``peek`` always reflects the durable media contents.
         """
-        self.stats.inc("pm_writes", scope=self.scope)
+        counter = self._writes_counter
+        if counter is None:
+            counter = self._writes_counter = self.stats.counter(
+                "pm_writes", scope=self.scope
+            )
+        counter.inc()
         if self._busy_banks < self.config.write_parallelism:
             self._start_write(line, write_id, on_done)
         else:
@@ -149,7 +171,7 @@ class NVMDevice:
             if on_done is not None:
                 on_done()
             if self._write_queue:
-                next_line, next_id, next_done = self._write_queue.pop(0)
+                next_line, next_id, next_done = self._write_queue.popleft()
                 self._start_write(next_line, next_id, next_done)
 
         self.engine.schedule(latency, finish)

@@ -14,20 +14,25 @@ ASAP's write-endurance win).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
 
 from repro.obs.events import EventType
 from repro.sim.engine import Engine, Waiter
 from repro.sim.stats import StatsRegistry
 
 
-@dataclass
 class WPQEntry:
     """One pending (durable) write awaiting media drain."""
 
-    line: int
-    write_id: int
+    __slots__ = ("line", "write_id")
+
+    def __init__(self, line: int, write_id: int) -> None:
+        self.line = line
+        self.write_id = write_id
+
+    def __repr__(self) -> str:
+        return f"WPQEntry(line={self.line:#x}, write_id={self.write_id})"
 
 
 class WritePendingQueue:
@@ -44,14 +49,15 @@ class WritePendingQueue:
         self.capacity = capacity
         self.stats = stats
         self.scope = scope
-        self._entries: list[WPQEntry] = []
+        #: deque: drain order pops the head, which list.pop(0) made O(n).
+        self._entries: Deque[WPQEntry] = deque()
         self._by_line: Dict[int, WPQEntry] = {}
         #: optional :class:`repro.obs.Tracer` + owning MC index, wired by
         #: the machine assembler through the memory controller.
         self.tracer = None
         self.mc: Optional[int] = None
         self.space_waiter = Waiter(engine)
-        self._occupancy = stats.weighted(f"wpq_occupancy", capacity, scope=scope)
+        self._occupancy = stats.weighted("wpq_occupancy", capacity, scope=scope)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,7 +94,7 @@ class WritePendingQueue:
         """Remove and return the oldest entry (drain order)."""
         if not self._entries:
             return None
-        entry = self._entries.pop(0)
+        entry = self._entries.popleft()
         # The entry may have been re-coalesced; only drop the index if it
         # still points at this entry.
         if self._by_line.get(entry.line) is entry:
@@ -108,9 +114,9 @@ class WritePendingQueue:
         This is the ADR crash path: on power failure the platform drains
         the WPQ to the media unconditionally.
         """
-        entries, self._entries = self._entries, []
+        entries, self._entries = self._entries, deque()
         self._by_line.clear()
-        return entries
+        return list(entries)
 
     def snapshot(self) -> Dict[int, int]:
         """Line -> pending write id, newest wins (for inspection/tests)."""

@@ -107,7 +107,18 @@ class TimeWeightedStat:
     def update(self, now: int, new_level: int) -> None:
         if now < self._last_time:
             raise ValueError("time went backwards in TimeWeightedStat")
-        self.histogram.record(self._level, now - self._last_time)
+        # inlined Histogram.record -- occupancy updates happen on every
+        # enqueue/dequeue of every buffer, so the extra call was hot.
+        weight = now - self._last_time
+        if weight > 0:
+            histogram = self.histogram
+            level = self._level
+            if level < 0:
+                level = 0
+            elif level > histogram.max_value:
+                level = histogram.max_value
+            histogram.buckets[level] += weight
+            histogram.samples += weight
         self._level = new_level
         self._last_time = now
 

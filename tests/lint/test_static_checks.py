@@ -21,10 +21,11 @@ def _have(module: str) -> bool:
 
 
 @pytest.mark.skipif(not _have("ruff"), reason="ruff not installed")
-def test_ruff_clean_on_lint_package():
+def test_ruff_clean_on_typed_packages():
     proc = subprocess.run(
         [sys.executable, "-m", "ruff", "check", "src/repro/lint",
-         "src/repro/workloads", "tests/lint"],
+         "src/repro/workloads", "src/repro/sim", "src/repro/bench",
+         "tests/lint", "tests/bench"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -33,9 +34,12 @@ def test_ruff_clean_on_lint_package():
 
 
 @pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
-def test_mypy_strict_on_lint_package():
+@pytest.mark.parametrize(
+    "package", ["src/repro/lint", "src/repro/sim", "src/repro/bench"]
+)
+def test_mypy_strict_on_typed_packages(package):
     proc = subprocess.run(
-        [sys.executable, "-m", "mypy", "--strict", "src/repro/lint"],
+        [sys.executable, "-m", "mypy", "--strict", package],
         cwd=REPO,
         capture_output=True,
         text=True,
