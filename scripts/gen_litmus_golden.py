@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the golden litmus corpus under ``tests/litmus/golden/``.
+
+Two pinned documents:
+
+- ``allowed_sets.json`` -- the axiomatic allowed-set of every corpus
+  test (named shapes + the ``GOLDEN_SEED`` random family), independent
+  of any simulation.  Changes iff the axioms, the epoch annotation, or
+  the corpus itself change.
+- ``disagreements.json`` -- the canonical disagreement document of the
+  smoke subset run operationally at ``SMOKE_POINTS`` crash points under
+  every registered RP model.  CI re-runs the same command and diffs
+  byte-for-byte (``tests/litmus/test_golden.py`` does it in-process),
+  so a *new* forbidden or unobserved state anywhere fails the gate.
+
+Run it ONLY when a PR intentionally changes persistency semantics, the
+axioms, or the corpus; review the diff line-by-line before committing.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_litmus_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.axiom import allowed_states  # noqa: E402
+from repro.litmus import (  # noqa: E402
+    GOLDEN_SEED,
+    LitmusRunOptions,
+    SMOKE_POINTS,
+    build_corpus,
+    run_litmus,
+    smoke_corpus,
+)
+
+GOLDEN_DIR = ROOT / "tests" / "litmus" / "golden"
+
+
+def gen_allowed_sets() -> None:
+    doc = {"kind": "litmus-allowed-sets", "seed": GOLDEN_SEED, "tests": {}}
+    for test in build_corpus():
+        aset = allowed_states(test)
+        doc["tests"][test.name] = {
+            "family": test.family,
+            "executions": aset.executions,
+            "truncated": aset.truncated,
+            "states": aset.formatted(),
+        }
+    path = GOLDEN_DIR / "allowed_sets.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    total = sum(len(t["states"]) for t in doc["tests"].values())
+    print(f"wrote {path} ({len(doc['tests'])} tests, {total} states)")
+
+
+def gen_disagreements() -> None:
+    report = run_litmus(
+        smoke_corpus(),
+        LitmusRunOptions(points=SMOKE_POINTS, seed=GOLDEN_SEED),
+    )
+    if report.forbidden_count():
+        raise SystemExit(
+            "refusing to pin a golden containing forbidden states -- "
+            "fix the simulator (or the axioms) first:\n"
+            + report.render_text()
+        )
+    path = GOLDEN_DIR / "disagreements.json"
+    path.write_text(
+        json.dumps(report.disagreements_doc(), indent=2, sort_keys=True)
+        + "\n"
+    )
+    print(
+        f"wrote {path} ({len(report.cells)} cells, "
+        f"{report.unobserved_count()} unobserved)"
+    )
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    gen_allowed_sets()
+    gen_disagreements()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""`repro.axiom` -- declarative Px86/PTSO persistency checker.
+
+The formal half of the litmus cross-validation: given a small program
+(:class:`~repro.axiom.program.LitmusTest`), enumerate candidate
+execution graphs (:mod:`repro.axiom.executions`), impose the
+persistency axioms, and compute the complete set of crash-observable
+NVM states the formal model allows (:mod:`repro.axiom.allowed`).
+
+The operational twin lives in :mod:`repro.litmus`, which runs the same
+programs through the discrete-event simulator and diffs the observed
+states against this package's allowed-sets.
+"""
+
+from repro.axiom.allowed import (
+    AllowedSet,
+    Boundary,
+    ThreadEpochs,
+    allowed_states,
+    annotate_epochs,
+    execution_allows,
+    execution_dag,
+    execution_states,
+    is_state_allowed,
+)
+from repro.axiom.executions import (
+    Execution,
+    ExecutionSet,
+    WriteRef,
+    enumerate_executions,
+    writes_of,
+)
+from repro.axiom.program import (
+    INIT,
+    LITMUS_BASE,
+    LitmusHeap,
+    LitmusTest,
+    NVMState,
+    format_state,
+    make_test,
+    parse_state,
+)
+
+__all__ = [
+    "AllowedSet",
+    "Boundary",
+    "Execution",
+    "ExecutionSet",
+    "INIT",
+    "LITMUS_BASE",
+    "LitmusHeap",
+    "LitmusTest",
+    "NVMState",
+    "ThreadEpochs",
+    "WriteRef",
+    "allowed_states",
+    "annotate_epochs",
+    "enumerate_executions",
+    "execution_allows",
+    "execution_dag",
+    "execution_states",
+    "format_state",
+    "is_state_allowed",
+    "make_test",
+    "parse_state",
+    "writes_of",
+]

@@ -1,0 +1,388 @@
+"""The axiomatic allowed-set: every crash state the formal model permits.
+
+This is the declarative half of the cross-validation.  Given a litmus
+test and one candidate execution (:mod:`repro.axiom.executions`), the
+axioms below decide which NVM images a crash may expose; the allowed
+set of the *test* is the union over all candidate executions.
+
+The axioms, stated over per-thread **epochs** (maximal fence-free op
+runs) and evaluated by reusing the repo's Theorem-2 checker
+(:func:`repro.verify.consistency.check_consistency`) on a synthetic
+log + DAG:
+
+- **per-location persist order** -- what survives on a line is a prefix
+  of the line's coherence order: if write ``w`` survives, every
+  coherence-earlier write to the line persisted (was absorbed).
+  Encoded by recording each line's writes into the synthetic
+  :class:`~repro.core.epoch.EpochLog` in coherence order; the checker's
+  lost/absorbed split *is* this axiom.
+- **flush/fence ordering (tso-order into the persistence domain)** --
+  an ``OFence``/``DFence`` orders every earlier persist of the thread
+  before every later one: epoch ``i`` precedes epoch ``j`` iff some
+  FULL boundary separates them and no strand boundary intervenes.
+  ``Release`` closes an epoch the same way (it is a publication fence),
+  but an ``Acquire`` boundary orders nothing by itself.
+- **release->acquire ordering** -- for the execution's lock order,
+  everything sequenced before a release (back to the enclosing strand
+  start) persists before everything sequenced after the matching
+  acquire (forward to the next strand boundary).
+- **strand relaxation with strong persist atomicity** -- a ``NewStrand``
+  cuts all implicit intra-thread ordering, but a store that conflicts
+  with an earlier strand's write to the same line still orders after it
+  (SPA).  The conflicting store *splits* its epoch (mirroring the
+  operational dependence-creating split), so only ops from the
+  conflicting store onward inherit the cross-strand edge.
+- **durable-prefix closure** -- any prefix of the execution's witness
+  persist order is an allowed image (crash at that instant); this falls
+  out of the above and is property-tested, not separately encoded.
+
+The union over executions makes the set model *all* ways the threads
+could have synchronized; the operational simulator takes exactly one
+(its timing picks the lock order), so operational states must land
+inside the union (soundness) while the union usually contains more
+(operational-too-strong slack; see docs/litmus.md for triage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from itertools import product as _product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.axiom.executions import (
+    Execution,
+    ExecutionSet,
+    OpRef,
+    WriteRef,
+    enumerate_executions,
+)
+from repro.axiom.program import INIT, LINE, LitmusTest, NVMState
+from repro.core.api import Acquire, DFence, NewStrand, OFence, Release, Store
+from repro.core.epoch import EpochId, EpochLog
+from repro.verify.consistency import check_consistency
+from repro.verify.dag import EpochDag
+
+#: cap on explicitly enumerated states per execution; corpus tests have
+#: a handful of writes so real counts stay tiny.
+MAX_STATES_PER_EXECUTION = 4096
+
+
+class Boundary(enum.Enum):
+    """What separates epoch ``ts`` from ``ts + 1`` on one thread."""
+
+    #: OFence / DFence / Release: full persist ordering across it.
+    FULL = "full"
+    #: Acquire: an epoch boundary that orders nothing by itself.
+    ACQ = "acq"
+    #: NewStrand: cuts all implicit intra-thread ordering.
+    STRAND = "strand"
+    #: SPA split at a cross-strand conflicting store: no implicit
+    #: ordering (the explicit SPA edge carries the constraint).
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class ThreadEpochs:
+    """Static epoch structure of one litmus test (execution-independent)."""
+
+    #: op -> epoch timestamp (1-based per thread).
+    epoch_of_op: Dict[OpRef, int]
+    #: per thread: boundary kind between ts and ts+1, index ts (1-based).
+    boundaries: Tuple[Dict[int, Boundary], ...]
+    #: highest epoch ts per thread.
+    max_ts: Tuple[int, ...]
+    #: SPA edges from cross-strand same-line conflicts.
+    spa_edges: Tuple[Tuple[EpochId, EpochId], ...]
+
+
+def annotate_epochs(test: LitmusTest) -> ThreadEpochs:
+    """Split each thread into epochs and classify the boundaries."""
+    epoch_of_op: Dict[OpRef, int] = {}
+    boundaries: List[Dict[int, Boundary]] = []
+    max_ts: List[int] = []
+    spa_edges: List[Tuple[EpochId, EpochId]] = []
+    for thread, ops in enumerate(test.threads):
+        kinds: Dict[int, Boundary] = {}
+        ts = 1
+        strand = 0
+        #: line -> (strand, epoch ts) of this thread's last write to it.
+        last_write: Dict[int, Tuple[int, int]] = {}
+        for index, op in enumerate(ops):
+            if isinstance(op, Store):
+                line = op.addr // LINE
+                prev = last_write.get(line)
+                if prev is not None and prev[0] != strand:
+                    # SPA: conflicting store orders after the earlier
+                    # strand's write.  Split here so only this store's
+                    # epoch (and onward) carries the edge.
+                    kinds[ts] = Boundary.CONFLICT
+                    ts += 1
+                    spa_edges.append(
+                        ((thread, prev[1]), (thread, ts))
+                    )
+                epoch_of_op[(thread, index)] = ts
+                last_write[line] = (strand, ts)
+                continue
+            epoch_of_op[(thread, index)] = ts
+            if isinstance(op, (OFence, DFence, Release)):
+                kinds[ts] = Boundary.FULL
+                ts += 1
+            elif isinstance(op, Acquire):
+                kinds[ts] = Boundary.ACQ
+                ts += 1
+            elif isinstance(op, NewStrand):
+                kinds[ts] = Boundary.STRAND
+                ts += 1
+                strand += 1
+        boundaries.append(kinds)
+        max_ts.append(ts)
+    return ThreadEpochs(
+        epoch_of_op=epoch_of_op,
+        boundaries=tuple(boundaries),
+        max_ts=tuple(max_ts),
+        spa_edges=tuple(spa_edges),
+    )
+
+
+def _intra_edges(epochs: ThreadEpochs) -> List[Tuple[EpochId, EpochId]]:
+    """Implicit intra-thread ordering: a FULL boundary between two
+    epochs orders them unless a strand boundary intervenes."""
+    edges: List[Tuple[EpochId, EpochId]] = []
+    for thread, kinds in enumerate(epochs.boundaries):
+        top = epochs.max_ts[thread]
+        for i in range(1, top + 1):
+            full_seen = False
+            for j in range(i + 1, top + 1):
+                kind = kinds.get(j - 1)
+                if kind is Boundary.STRAND:
+                    break
+                if kind is Boundary.FULL:
+                    full_seen = True
+                if full_seen:
+                    edges.append(((thread, i), (thread, j)))
+    return edges
+
+
+def _span_back(
+    epochs: ThreadEpochs, thread: int, ts: int
+) -> List[int]:
+    """Epochs <= ``ts`` with no strand boundary in between (inclusive)."""
+    out = [ts]
+    t = ts
+    kinds = epochs.boundaries[thread]
+    while t > 1 and kinds.get(t - 1) is not Boundary.STRAND:
+        t -= 1
+        out.append(t)
+    return out
+
+
+def _span_forward(
+    epochs: ThreadEpochs, thread: int, ts: int
+) -> List[int]:
+    """Epochs >= ``ts`` with no strand boundary in between (inclusive)."""
+    out = [ts]
+    t = ts
+    kinds = epochs.boundaries[thread]
+    top = epochs.max_ts[thread]
+    while t < top and kinds.get(t) is not Boundary.STRAND:
+        t += 1
+        out.append(t)
+    return out
+
+
+def execution_dag(
+    test: LitmusTest,
+    epochs: ThreadEpochs,
+    execution: Execution,
+) -> EpochDag:
+    """The epoch-ordering DAG the axioms impose on one execution."""
+    nodes: Set[EpochId] = set()
+    for thread in range(len(test.threads)):
+        for ts in range(1, epochs.max_ts[thread] + 1):
+            nodes.add((thread, ts))
+    edges: List[Tuple[EpochId, EpochId]] = []
+    edges.extend(_intra_edges(epochs))
+    edges.extend(epochs.spa_edges)
+    for rel, acq in execution.sync_pairs:
+        rel_thread, _ = rel
+        acq_thread, _ = acq
+        sources = _span_back(epochs, rel_thread, epochs.epoch_of_op[rel])
+        targets = _span_forward(
+            epochs, acq_thread, epochs.epoch_of_op[acq] + 1
+        )
+        for src_ts in sources:
+            for dst_ts in targets:
+                if dst_ts <= epochs.max_ts[acq_thread]:
+                    edges.append(
+                        ((rel_thread, src_ts), (acq_thread, dst_ts))
+                    )
+    return EpochDag.from_edges(nodes, edges)
+
+
+def _synthetic_log(
+    epochs: ThreadEpochs, execution: Execution
+) -> Tuple[EpochLog, Dict[str, int]]:
+    """An EpochLog whose per-line order is the candidate coherence order.
+
+    Returns the log plus label -> write id, so states map onto media
+    images.
+    """
+    log = EpochLog()
+    ids: Dict[str, int] = {}
+    next_id = 1
+    for line, order in execution.coherence:
+        for write in order:
+            log.record_write(
+                next_id,
+                line,
+                write.thread,
+                epochs.epoch_of_op[write.ref],
+                payload=write.label,
+            )
+            ids[write.label] = next_id
+            next_id += 1
+    return log, ids
+
+
+@dataclass(frozen=True)
+class AllowedSet:
+    """The axiomatic allowed-set of one litmus test."""
+
+    test: str
+    states: FrozenSet[NVMState]
+    executions: int
+    #: True if an enumeration cap was hit (set may be incomplete).
+    truncated: bool
+
+    def formatted(self) -> List[str]:
+        from repro.axiom.program import format_state
+
+        return sorted(format_state(state) for state in self.states)
+
+
+def _canonical(
+    test: LitmusTest,
+    survivors: Dict[int, Optional[WriteRef]],
+) -> NVMState:
+    symbols = test.line_symbols()
+    values: Dict[str, str] = {symbol: INIT for _, symbol in symbols.items()}
+    for line, write in survivors.items():
+        if write is not None:
+            values[symbols[line]] = write.label
+    return tuple(sorted(values.items()))
+
+
+def execution_states(
+    test: LitmusTest,
+    epochs: ThreadEpochs,
+    execution: Execution,
+    max_states: int = MAX_STATES_PER_EXECUTION,
+) -> Set[NVMState]:
+    """All crash states one candidate execution allows."""
+    log, ids = _synthetic_log(epochs, execution)
+    dag = execution_dag(test, epochs, execution)
+    lines = [line for line, _ in execution.coherence]
+    choices: List[List[Optional[WriteRef]]] = [
+        [None] + list(order) for _, order in execution.coherence
+    ]
+    out: Set[NVMState] = set()
+    count = 0
+    for pick in _product(*choices):
+        count += 1
+        if count > max_states:
+            raise ValueError(
+                f"{test.name}: state enumeration exceeds {max_states}; "
+                f"use is_state_allowed for membership checks instead"
+            )
+        media = {
+            line: ids[write.label]
+            for line, write in zip(lines, pick)
+            if write is not None
+        }
+        report = check_consistency(log, media, dag)
+        if report.consistent:
+            out.add(
+                _canonical(test, dict(zip(lines, pick)))
+            )
+    return out
+
+
+def allowed_states(
+    test: LitmusTest,
+    max_executions: Optional[int] = None,
+) -> AllowedSet:
+    """Union of :func:`execution_states` over all candidate executions."""
+    epochs = annotate_epochs(test)
+    if max_executions is None:
+        exec_set = enumerate_executions(test)
+    else:
+        exec_set = enumerate_executions(test, max_executions=max_executions)
+    states: Set[NVMState] = set()
+    for execution in exec_set.executions:
+        states.update(execution_states(test, epochs, execution))
+    return AllowedSet(
+        test=test.name,
+        states=frozenset(states),
+        executions=len(exec_set.executions),
+        truncated=exec_set.truncated,
+    )
+
+
+def execution_allows(
+    test: LitmusTest,
+    epochs: ThreadEpochs,
+    execution: Execution,
+    state: NVMState,
+) -> bool:
+    """Membership check against one execution, without enumerating."""
+    log, ids = _synthetic_log(epochs, execution)
+    wanted = dict(state)
+    line_of = {symbol: addr // LINE for symbol, addr in test.locations}
+    media: Dict[int, int] = {}
+    for symbol, label in wanted.items():
+        if label == INIT:
+            continue
+        if label not in ids:
+            return False  # no execution writes this value here
+        write_id = ids[label]
+        if log.writes[write_id].line != line_of[symbol]:
+            return False
+        media[line_of[symbol]] = write_id
+    dag = execution_dag(test, epochs, execution)
+    return check_consistency(log, media, dag).consistent
+
+
+def is_state_allowed(
+    test: LitmusTest,
+    state: NVMState,
+    executions: Optional[Iterable[Execution]] = None,
+) -> bool:
+    """Does *any* candidate execution allow ``state``?
+
+    ``executions`` restricts the check to a subset (e.g. only those
+    whose lock order matches what an operational run actually did);
+    by default every candidate execution is consulted.
+    """
+    epochs = annotate_epochs(test)
+    if executions is None:
+        exec_set: ExecutionSet = enumerate_executions(test)
+        executions = exec_set.executions
+    for execution in executions:
+        if execution_allows(test, epochs, execution, state):
+            return True
+    return False
+
+
+__all__ = [
+    "AllowedSet",
+    "Boundary",
+    "MAX_STATES_PER_EXECUTION",
+    "ThreadEpochs",
+    "allowed_states",
+    "annotate_epochs",
+    "execution_allows",
+    "execution_dag",
+    "execution_states",
+    "is_state_allowed",
+]

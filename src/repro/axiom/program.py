@@ -1,0 +1,321 @@
+"""Litmus programs: the common language of both persistency models.
+
+A :class:`LitmusTest` is a tiny multi-threaded program -- a handful of
+stores / fences / lock sections over a handful of named cache lines --
+that both checkers consume:
+
+- the **axiomatic** checker (:mod:`repro.axiom.allowed`) enumerates
+  every crash-observable NVM state the declarative Px86/PTSO-with-
+  strands model allows;
+- the **operational** runner (:mod:`repro.litmus`) executes the same
+  ops through the discrete-event simulator and collects the states
+  actually reachable by pulling the plug.
+
+Locations are *symbols* ("x", "flag", ...) mapped to disjoint cache
+lines by :class:`LitmusHeap`; stores carry auto-assigned string payload
+labels (``t{thread}s{ordinal}``) so a surviving media image can be read
+back symbolically.  A crash-observable state is then a canonical tuple
+of ``(symbol, label)`` pairs, with :data:`INIT` for a line that never
+persisted (see :func:`format_state`).
+
+Tests obey the simulator's release-persistency race contract by
+construction: a line stored by more than one thread must only ever be
+accessed inside critical sections of one common lock.
+:func:`make_test` validates this, so the corpus cannot silently drift
+into undefined-order territory where neither model promises anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    Load,
+    NewStrand,
+    OFence,
+    Op,
+    Release,
+    Store,
+)
+
+#: litmus heaps live far from the workload heap (0x1000_0000) so traces
+#: from the two worlds can never alias.
+LITMUS_BASE = 0x2000_0000
+LINE = 64
+
+#: the symbolic value of a location with no surviving write.
+INIT = "init"
+
+#: canonical crash-observable NVM state: ``(symbol, label)`` pairs,
+#: sorted by symbol, one pair per data location of the test.
+NVMState = Tuple[Tuple[str, str], ...]
+
+#: ops a litmus thread may contain (loads/computes are allowed but inert
+#: for crash states; they exist so shapes read like the literature).
+_ALLOWED_OPS = (Store, Load, OFence, DFence, Acquire, Release, Compute, NewStrand)
+
+#: default per-thread op budget; the explicit-enumeration engine is
+#: exponential, so corpus tests stay tiny.  Stress tests that only use
+#: the membership API may override via ``make_test(..., max_ops=...)``.
+MAX_OPS_PER_THREAD = 12
+MAX_THREADS = 4
+
+
+class LitmusHeap:
+    """Symbol -> line-aligned address mapping for litmus programs."""
+
+    def __init__(self, base: int = LITMUS_BASE, line_bytes: int = LINE) -> None:
+        self._base = base
+        self._line_bytes = line_bytes
+        self._next_line = 0
+        self._data: Dict[str, int] = {}
+        self._locks: Dict[str, int] = {}
+
+    def _fresh_line(self) -> int:
+        addr = self._base + self._next_line * self._line_bytes
+        self._next_line += 1
+        return addr
+
+    def loc(self, symbol: str) -> int:
+        """The address of data symbol ``symbol`` (allocated on first use)."""
+        if symbol in self._locks:
+            raise ValueError(f"symbol {symbol!r} is already a lock")
+        if symbol not in self._data:
+            self._data[symbol] = self._fresh_line()
+        return self._data[symbol]
+
+    def loc_on_mc(self, symbol: str, mc: int, num_mcs: int = 2,
+                  interleave_bytes: int = 256) -> int:
+        """Like :meth:`loc`, but steered onto memory controller ``mc``.
+
+        Used by stress tests that need a jam on one controller while the
+        other stays idle (the ASAP no-undo violation shape).
+        """
+        if symbol in self._data:
+            return self._data[symbol]
+        while True:
+            candidate = self._base + self._next_line * self._line_bytes
+            if (candidate // interleave_bytes) % num_mcs == mc:
+                break
+            self._next_line += 1
+        self._data[symbol] = self._fresh_line()
+        return self._data[symbol]
+
+    def lock(self, symbol: str) -> int:
+        """The lock id for lock symbol ``symbol`` (own line, first use)."""
+        if symbol in self._data:
+            raise ValueError(f"symbol {symbol!r} is already a data location")
+        if symbol not in self._locks:
+            self._locks[symbol] = self._fresh_line()
+        return self._locks[symbol]
+
+    @property
+    def data_symbols(self) -> Dict[str, int]:
+        return dict(self._data)
+
+    @property
+    def lock_symbols(self) -> Dict[str, int]:
+        return dict(self._locks)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus program, fully resolved and validated."""
+
+    name: str
+    family: str
+    description: str
+    #: per-thread op tuples (payload labels already assigned).
+    threads: Tuple[Tuple[Op, ...], ...]
+    #: data locations: (symbol, address), in allocation order.
+    locations: Tuple[Tuple[str, int], ...]
+    #: lock locations: (symbol, lock id), in allocation order.
+    locks: Tuple[Tuple[str, int], ...]
+
+    def location_map(self) -> Dict[str, int]:
+        return dict(self.locations)
+
+    def line_symbols(self) -> Dict[int, str]:
+        """Cache line number -> data symbol."""
+        return {addr // LINE: symbol for symbol, addr in self.locations}
+
+    def num_ops(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    def stores(self) -> List[Tuple[int, int, Store]]:
+        """Every store as ``(thread, op_index, op)`` in program order."""
+        out: List[Tuple[int, int, Store]] = []
+        for thread, ops in enumerate(self.threads):
+            for index, op in enumerate(ops):
+                if isinstance(op, Store):
+                    out.append((thread, index, op))
+        return out
+
+    def initial_state(self) -> NVMState:
+        return tuple(
+            (symbol, INIT) for symbol, _ in sorted(self.locations)
+        )
+
+
+def format_state(state: NVMState) -> str:
+    """Render a canonical state as ``"x=t0s1 y=init"``."""
+    return " ".join(f"{symbol}={label}" for symbol, label in state)
+
+
+def parse_state(text: str) -> NVMState:
+    """Inverse of :func:`format_state` (used by golden-file diffing)."""
+    pairs: List[Tuple[str, str]] = []
+    for chunk in text.split():
+        symbol, _, label = chunk.partition("=")
+        if not symbol or not label:
+            raise ValueError(f"malformed state chunk {chunk!r} in {text!r}")
+        pairs.append((symbol, label))
+    return tuple(sorted(pairs))
+
+
+def make_test(
+    name: str,
+    family: str,
+    threads: Sequence[Sequence[Op]],
+    heap: LitmusHeap,
+    description: str = "",
+    max_ops: int = MAX_OPS_PER_THREAD,
+) -> LitmusTest:
+    """Label, validate, and freeze a litmus program.
+
+    Stores get payload labels ``t{thread}s{ordinal}`` (1-based ordinal
+    within the thread) unless the caller labelled them already; labels
+    must be unique program-wide since they name writes in crash states.
+    """
+    if not 1 <= len(threads) <= MAX_THREADS:
+        raise ValueError(
+            f"{name}: {len(threads)} threads (must be 1..{MAX_THREADS})"
+        )
+    data_lines = {addr // LINE for addr in heap.data_symbols.values()}
+    lock_ids = set(heap.lock_symbols.values())
+
+    labelled: List[Tuple[Op, ...]] = []
+    labels: Set[str] = set()
+    for thread, ops in enumerate(threads):
+        if len(ops) > max_ops:
+            raise ValueError(
+                f"{name}: thread {thread} has {len(ops)} ops "
+                f"(budget {max_ops})"
+            )
+        held: Set[int] = set()
+        ordinal = 0
+        out: List[Op] = []
+        for op in ops:
+            if not isinstance(op, _ALLOWED_OPS):
+                raise ValueError(f"{name}: unsupported op {op!r}")
+            if isinstance(op, Store):
+                ordinal += 1
+                line = op.addr // LINE
+                if line not in data_lines:
+                    raise ValueError(
+                        f"{name}: store to unnamed address {op.addr:#x}"
+                    )
+                if op.addr // LINE != (op.addr + op.size - 1) // LINE:
+                    raise ValueError(
+                        f"{name}: store at {op.addr:#x} spans cache lines"
+                    )
+                label = op.payload
+                if label is None:
+                    label = f"t{thread}s{ordinal}"
+                if not isinstance(label, str):
+                    raise ValueError(
+                        f"{name}: payload labels must be strings, got "
+                        f"{label!r}"
+                    )
+                if label == INIT or label in labels:
+                    raise ValueError(
+                        f"{name}: duplicate/reserved label {label!r}"
+                    )
+                labels.add(label)
+                op = type(op)(op.addr, op.size, label)
+            elif isinstance(op, Load):
+                if op.addr // LINE not in data_lines:
+                    raise ValueError(
+                        f"{name}: load from unnamed address {op.addr:#x}"
+                    )
+            elif isinstance(op, Acquire):
+                if op.lock not in lock_ids:
+                    raise ValueError(f"{name}: acquire of unnamed lock")
+                if op.lock in held:
+                    raise ValueError(f"{name}: re-acquire of held lock")
+                held.add(op.lock)
+            elif isinstance(op, Release):
+                if op.lock not in held:
+                    raise ValueError(f"{name}: release of unheld lock")
+                held.discard(op.lock)
+            out.append(op)
+        if held:
+            raise ValueError(f"{name}: thread {thread} ends holding a lock")
+        labelled.append(tuple(out))
+
+    test = LitmusTest(
+        name=name,
+        family=family,
+        description=description,
+        threads=tuple(labelled),
+        locations=tuple(sorted(heap.data_symbols.items())),
+        locks=tuple(sorted(heap.lock_symbols.items())),
+    )
+    _check_race_contract(test)
+    return test
+
+
+def _check_race_contract(test: LitmusTest) -> None:
+    """Enforce the simulator's RP race contract statically.
+
+    A line accessed by two threads must, in *both* threads, only be
+    accessed while holding one common lock -- otherwise the operational
+    model's per-line persist order is undefined and the comparison is
+    meaningless.
+    """
+    #: line -> set of (thread, lockset-at-access)
+    access: Dict[int, List[Tuple[int, FrozenSet[int]]]] = {}
+    for thread, ops in enumerate(test.threads):
+        held: Set[int] = set()
+        for op in ops:
+            if isinstance(op, Acquire):
+                held.add(op.lock)
+            elif isinstance(op, Release):
+                held.discard(op.lock)
+            elif isinstance(op, (Store, Load)):
+                line = op.addr // LINE
+                access.setdefault(line, []).append(
+                    (thread, frozenset(held))
+                )
+    symbols = test.line_symbols()
+    for line, pairs in access.items():
+        threads_seen = {thread for thread, _ in pairs}
+        if len(threads_seen) < 2:
+            continue
+        common: Optional[FrozenSet[int]] = None
+        for _, locks in pairs:
+            common = locks if common is None else common & locks
+        if not common:
+            raise ValueError(
+                f"{test.name}: location {symbols.get(line, hex(line))!r} "
+                f"is shared across threads without a common lock "
+                f"(violates the simulator's race contract)"
+            )
+
+
+__all__ = [
+    "INIT",
+    "LINE",
+    "LITMUS_BASE",
+    "LitmusHeap",
+    "LitmusTest",
+    "MAX_OPS_PER_THREAD",
+    "NVMState",
+    "format_state",
+    "make_test",
+    "parse_state",
+]

@@ -18,6 +18,10 @@ workflow:
   epoch-commit boundary plus stratified-random cycles, adjudicate
   recovery with per-workload semantic oracles, minimize and serialize
   any failure for replay.
+- ``litmus``  -- cross-validate the operational simulator against the
+  axiomatic Px86/PTSO persistency model on a corpus of small litmus
+  tests; any operationally-reachable state the axioms forbid is a
+  simulator bug (exit 1).
 - ``list``    -- enumerate workloads and models.
 
 Model names come from the canonical registry
@@ -291,6 +295,94 @@ def cmd_crashtest(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_litmus(args) -> int:
+    import json as _json
+
+    from repro.litmus import (
+        LitmusRunOptions,
+        SMOKE_POINTS,
+        build_corpus,
+        families,
+        run_litmus,
+        smoke_corpus,
+    )
+    from repro.report import dumps as sarif_dumps
+
+    if args.list:
+        tests = build_corpus(seed=args.seed, rand_count=args.count)
+        for test in tests:
+            print(f"  {test.name:20s} [{test.family}] "
+                  f"{len(test.threads)} thread(s), {test.num_ops()} ops")
+        print(f"families: {', '.join(families())}")
+        return 0
+
+    selected = sum(
+        1 for opt in (args.name, args.family, args.smoke, args.all) if opt
+    )
+    if selected != 1:
+        print(
+            "litmus: provide exactly one of a test name, --family, "
+            "--smoke, or --all",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        tests = smoke_corpus()
+        points = args.points if args.points is not None else SMOKE_POINTS
+    else:
+        names = [args.name] if args.name else None
+        try:
+            tests = build_corpus(
+                seed=args.seed,
+                rand_count=args.count,
+                family=args.family,
+                names=names,
+            )
+        except KeyError as exc:
+            print(f"litmus: {exc.args[0]}", file=sys.stderr)
+            return 2
+        points = args.points if args.points is not None else 24
+
+    options = LitmusRunOptions(
+        points=points,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    if args.models:
+        options.models = [resolve_model(m) for m in args.models]
+    report = run_litmus(tests, options)
+
+    if args.format == "sarif":
+        text = sarif_dumps(report.to_sarif())
+    elif args.format == "json":
+        text = _json.dumps(report.to_json(), indent=2)
+    else:
+        text = report.render_text(verbose=args.verbose)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if args.save_disagreements:
+        with open(args.save_disagreements, "w") as handle:
+            _json.dump(report.disagreements_doc(), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.save_disagreements}")
+
+    gate_ok = report.ok(args.fail_on)
+    if not gate_ok:
+        print(
+            f"litmus: disagreements at --fail-on={args.fail_on} "
+            f"({report.forbidden_count()} forbidden, "
+            f"{report.unobserved_count()} unobserved)",
+            file=sys.stderr,
+        )
+    return 0 if gate_ok else 1
+
+
 def cmd_bench(args) -> int:
     from repro.bench import (
         BenchRecord,
@@ -464,6 +556,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_ct.add_argument("--cache-dir", metavar="DIR",
                       help="reuse deterministic results cached here")
     p_ct.set_defaults(func=cmd_crashtest)
+
+    p_lit = sub.add_parser(
+        "litmus",
+        help="cross-validate simulator vs axiomatic persistency model",
+    )
+    p_lit.add_argument("name", nargs="?",
+                       help="one litmus test by name (see --list)")
+    p_lit.add_argument("--family", metavar="FAMILY",
+                       help="run every test of one family "
+                       "(mp, sb, flush, epoch, rand)")
+    p_lit.add_argument("--smoke", action="store_true",
+                       help="the pinned golden-diffed CI gate subset")
+    p_lit.add_argument("--all", action="store_true",
+                       help="the full corpus (named + random family)")
+    p_lit.add_argument("--list", action="store_true",
+                       help="list corpus tests and exit")
+    p_lit.add_argument("--models", nargs="*", choices=_MODEL_CHOICE_NAMES,
+                       metavar="MODEL",
+                       help="models to validate (default: baseline hops "
+                       "asap eadr)")
+    p_lit.add_argument("--points", type=int, default=None, metavar="N",
+                       help="crash points per cell (default: 24; "
+                       "--smoke pins its own)")
+    p_lit.add_argument("--seed", type=int, default=7)
+    p_lit.add_argument("--count", type=int, default=4, metavar="N",
+                       help="random-family tests to generate (default: 4)")
+    p_lit.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="run cells across N worker processes")
+    p_lit.add_argument("--cache-dir", metavar="DIR",
+                       help="reuse deterministic results cached here")
+    p_lit.add_argument("--format", choices=("text", "json", "sarif"),
+                       default="text")
+    p_lit.add_argument("--out", metavar="PATH",
+                       help="write the report here instead of stdout")
+    p_lit.add_argument("--fail-on", choices=("forbidden", "any", "never"),
+                       default="forbidden",
+                       help="exit non-zero on: forbidden states only "
+                       "(default), any disagreement, or never")
+    p_lit.add_argument("--save-disagreements", metavar="PATH",
+                       help="write the canonical disagreement document "
+                       "here (the golden-diffed CI artifact)")
+    p_lit.add_argument("--verbose", action="store_true",
+                       help="also print unobserved (too-strong) states")
+    p_lit.set_defaults(func=cmd_litmus)
 
     from repro.bench.suites import SUITES
 

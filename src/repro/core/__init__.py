@@ -11,6 +11,7 @@ and runs workload thread programs written against :mod:`repro.core.api`.
 """
 
 from repro.core.api import (
+    CAS,
     Acquire,
     Compute,
     DFence,
@@ -32,6 +33,7 @@ from repro.sim.config import (
 
 __all__ = [
     "Acquire",
+    "CAS",
     "Compute",
     "DFence",
     "HardwareModel",

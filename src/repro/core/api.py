@@ -63,6 +63,19 @@ class Store(Op):
 
 
 @dataclass(frozen=True)
+class CAS(Store):
+    """An atomic compare-and-swap publishing ``size`` bytes at ``addr``.
+
+    Timing-wise a CAS behaves exactly like the store it performs (it is
+    a :class:`Store` subclass and the machine dispatches it as one);
+    the distinct type exists for static analysis: a CAS is how lock-free
+    code *publishes* a persistent pointer, so the linter can check that
+    everything the published node refers to was flushed and fenced
+    before the publish (the PL006 ``cas-publish`` rule).
+    """
+
+
+@dataclass(frozen=True)
 class Load(Op):
     """A load of ``size`` bytes at ``addr``."""
 
@@ -165,6 +178,7 @@ def _pow2_at_least(value: int) -> int:
 
 __all__ = [
     "Acquire",
+    "CAS",
     "Compute",
     "DFence",
     "Load",

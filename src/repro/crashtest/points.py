@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.api import Op
+from repro.core.machine import Machine
 from repro.obs.events import Event, EventType
 from repro.sim.config import MachineConfig, RunConfig
 from repro.workloads.base import Workload, run_workload
@@ -71,6 +73,28 @@ def trace_reference(
     return ReferenceRun(
         drain_cycles=result.result.drain_cycles,
         runtime_cycles=result.result.runtime_cycles,
+        commit_cycles=tuple(sorted(set(collector.cycles))),
+    )
+
+
+def trace_reference_programs(
+    machine: MachineConfig,
+    run_config: RunConfig,
+    per_thread_ops: List[List[Op]],
+) -> ReferenceRun:
+    """Trace a reference run from raw per-thread op lists.
+
+    The litmus engine works with explicit op lists rather than registry
+    workloads, so this is the programs-level twin of
+    :func:`trace_reference`: one full run, commit cycles collected, no
+    crash.
+    """
+    collector = CommitCollector()
+    system = Machine(machine, run_config, sinks=[collector])
+    result = system.run([iter(ops) for ops in per_thread_ops])
+    return ReferenceRun(
+        drain_cycles=result.drain_cycles,
+        runtime_cycles=result.runtime_cycles,
         commit_cycles=tuple(sorted(set(collector.cycles))),
     )
 
@@ -139,4 +163,5 @@ __all__ = [
     "enumerate_crash_points",
     "stratified_cycles",
     "trace_reference",
+    "trace_reference_programs",
 ]

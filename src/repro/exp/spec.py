@@ -27,7 +27,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Optional, Type, Union
+from typing import Any, Optional, Type, Union
 
 from repro.core.models import ModelSpec, resolve_model
 from repro.sim.config import MachineConfig, RunConfig
@@ -57,7 +57,7 @@ def _resolve_workload_name(workload: Union[str, Type[Workload]]) -> str:
     raise TypeError(f"workload must be a name or Workload class: {workload!r}")
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     """Reduce a config value to deterministic JSON-serializable form."""
     if isinstance(value, enum.Enum):
         return value.value

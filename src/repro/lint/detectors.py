@@ -34,7 +34,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from repro.core.api import Acquire, DFence, NewStrand, OFence, Release, Store
+from repro.core.api import (
+    CAS,
+    Acquire,
+    DFence,
+    NewStrand,
+    OFence,
+    Release,
+    Store,
+)
 from repro.core.epoch import EpochLog
 from repro.lint.model import Finding, LintConfig, Rule, Severity
 from repro.lint.stream import AnnotatedOp, OpStream, store_lines
@@ -413,10 +421,94 @@ def detect_epoch_shape(
 register_detector(_EPOCH_SHAPE, detect_epoch_shape)
 
 
+# ---------------------------------------------------------------------------
+# PL006 cas-publish
+# ---------------------------------------------------------------------------
+
+_CAS_PUBLISH = Rule(
+    id="PL006",
+    detector="cas-publish",
+    summary="CAS publishes data that is not persist-ordered before it",
+    severity=Severity.ERROR,
+    hint="flush the node's lines and fence (OFence or DFence) before "
+    "the CAS that links it into the persistent structure",
+)
+
+
+def detect_cas_publish(
+    stream: OpStream, config: LintConfig
+) -> Iterator[Finding]:
+    """A CAS is the lock-free publish point: once the swapped-in pointer
+    persists, recovery follows it.  Everything the published node holds
+    must therefore be persist-ordered *before* the CAS -- i.e. every
+    store to another line since the last fence is a dangling persist the
+    CAS may overtake on its way to media."""
+    for thread_stream in stream.threads:
+        pending: List[AnnotatedOp] = []
+        for aop in thread_stream.ops:
+            op = aop.op
+            if isinstance(op, CAS):
+                cas_lines = set(store_lines(op))
+                payload = [
+                    a
+                    for a in pending
+                    if not set(store_lines(a.op)).issubset(cas_lines)  # type: ignore[arg-type]
+                ]
+                if payload:
+                    first = payload[0]
+                    store = first.op
+                    assert isinstance(store, Store)
+                    yield _finding(
+                        _CAS_PUBLISH,
+                        stream,
+                        aop,
+                        thread_stream.thread,
+                        f"CAS({op.addr:#x}) publishes {len(payload)} "
+                        f"store(s) with no ordering fence since op "
+                        f"{first.index} (addr {store.addr:#x}): "
+                        f"recovery can see the new pointer before the "
+                        f"node it points to",
+                        line=store_lines(op)[0],
+                    )
+                pending.append(aop)
+            elif isinstance(op, Store):
+                pending.append(aop)
+            elif isinstance(op, (OFence, DFence)):
+                pending.clear()
+            elif isinstance(op, NewStrand):
+                # a CAS cannot order earlier-strand persists at all;
+                # cross-strand conflicts are SPA / PL004 territory, so
+                # the pending set resets with the strand.
+                pending.clear()
+
+
+register_detector(_CAS_PUBLISH, detect_cas_publish)
+
+
+# ---------------------------------------------------------------------------
+# PL000 unused-suppression (no detector function: the runner emits it
+# after the pipeline, once it knows which suppressions matched).
+# ---------------------------------------------------------------------------
+
+UNUSED_SUPPRESSION = Rule(
+    id="PL000",
+    detector="unused-suppression",
+    summary="declared lint suppression matched zero findings",
+    severity=Severity.NOTE,
+    hint="delete the stale lint_suppressions entry (or fix the detector "
+    "name) so the suppression list stays an honest record of accepted "
+    "findings",
+)
+
+RULES[UNUSED_SUPPRESSION.detector] = UNUSED_SUPPRESSION
+
+
 __all__ = [
     "DETECTORS",
     "Detector",
     "RULES",
+    "UNUSED_SUPPRESSION",
+    "detect_cas_publish",
     "detect_epoch_shape",
     "detect_persist_race",
     "detect_redundant_fence",

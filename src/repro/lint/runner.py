@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.api import Op
-from repro.lint.detectors import DETECTORS
+from repro.lint.detectors import DETECTORS, UNUSED_SUPPRESSION
 from repro.lint.model import Finding, LintConfig, LintError, LintReport
 from repro.lint.stream import OpStream, expand_workload, stream_from_ops
 from repro.workloads.base import Workload
@@ -61,6 +61,33 @@ def lint_stream(
                 report.suppressed.append((finding, reason))
             else:
                 report.findings.append(finding)
+    # PL000: a suppression whose detector ran but produced zero findings
+    # (kept *or* suppressed) is stale and would otherwise rot silently.
+    # Suppressions for detectors that did not run this pass are not
+    # judged -- they had no chance to match.
+    produced = {f.detector for f in report.findings}
+    produced.update(f.detector for f, _ in report.suppressed)
+    for name in sorted(suppressions):
+        if name not in DETECTORS or name not in enabled:
+            continue
+        if name not in produced:
+            report.findings.append(
+                Finding(
+                    rule_id=UNUSED_SUPPRESSION.id,
+                    detector=UNUSED_SUPPRESSION.detector,
+                    severity=UNUSED_SUPPRESSION.severity,
+                    message=(
+                        f"lint_suppressions entry for {name!r} matched "
+                        f"no findings; delete it or fix the detector "
+                        f"name"
+                    ),
+                    workload=stream.workload,
+                    thread=0,
+                    strand=0,
+                    op_index=0,
+                    fix_hint=UNUSED_SUPPRESSION.hint,
+                )
+            )
     return report
 
 

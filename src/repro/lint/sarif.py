@@ -3,24 +3,28 @@
 SARIF results use the workload class's source file as the artifact
 location (the op stream has no source positions of its own), carry the
 thread / strand / op index / cache line in ``properties``, and map
-severities onto SARIF levels one-to-one.  The output validates against
-the SARIF 2.1.0 schema shape GitHub code scanning ingests.
+severities onto SARIF levels one-to-one.  Document construction is
+delegated to the shared :mod:`repro.report` renderer (the same path the
+litmus cross-validator emits through), so the schema shape GitHub code
+scanning ingests lives in exactly one place.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.lint.detectors import RULES
 from repro.lint.model import LintReport, Severity
-
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA = (
-    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
-    "Schemata/sarif-schema-2.1.0.json"
+from repro.report import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    SarifResult,
+    SarifRule,
+    dumps,
+    make_sarif,
+    relative_uri,
 )
+
 TOOL_NAME = "repro-lint"
 TOOL_VERSION = "1.0.0"
 
@@ -32,16 +36,7 @@ _LEVELS = {
 
 
 def _relative_uri(path: Optional[str]) -> str:
-    if not path:
-        return "unknown"
-    p = pathlib.Path(path)
-    for marker in ("src",):
-        try:
-            index = p.parts.index(marker)
-        except ValueError:
-            continue
-        return "/".join(p.parts[index:])
-    return p.name
+    return relative_uri(path, markers=("src",))
 
 
 def to_sarif(
@@ -55,20 +50,21 @@ def to_sarif(
     """
     sources = sources or {}
     rules = [
-        {
-            "id": rule.id,
-            "name": rule.detector,
-            "shortDescription": {"text": rule.summary},
-            "help": {"text": rule.hint},
-            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
-        }
+        SarifRule(
+            id=rule.id,
+            name=rule.detector,
+            summary=rule.summary,
+            level=_LEVELS[rule.severity],
+            help_text=rule.hint,
+        )
         for rule in RULES.values()
     ]
-    results: List[Dict[str, Any]] = []
+    results: List[SarifResult] = []
     for report in reports:
-        source_file, source_line = sources.get(
+        source: Tuple[Optional[str], Optional[int]] = sources.get(
             report.workload, (None, None)
         )
+        source_file, source_line = source
         for finding in report.findings:
             properties: Dict[str, Any] = {
                 "workload": finding.workload,
@@ -82,44 +78,16 @@ def to_sarif(
             if finding.fix_hint:
                 properties["fixHint"] = finding.fix_hint
             results.append(
-                {
-                    "ruleId": finding.rule_id,
-                    "level": _LEVELS[finding.severity],
-                    "message": {
-                        "text": f"[{finding.workload}] {finding.message}"
-                    },
-                    "locations": [
-                        {
-                            "physicalLocation": {
-                                "artifactLocation": {
-                                    "uri": _relative_uri(source_file),
-                                },
-                                "region": {
-                                    "startLine": source_line or 1,
-                                },
-                            }
-                        }
-                    ],
-                    "properties": properties,
-                }
+                SarifResult(
+                    rule_id=finding.rule_id,
+                    level=_LEVELS[finding.severity],
+                    message=f"[{finding.workload}] {finding.message}",
+                    uri=_relative_uri(source_file),
+                    start_line=source_line or 1,
+                    properties=properties,
+                )
             )
-    return {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": TOOL_NAME,
-                        "version": TOOL_VERSION,
-                        "informationUri": "https://example.invalid/repro",
-                        "rules": rules,
-                    }
-                },
-                "results": results,
-            }
-        ],
-    }
+    return make_sarif(TOOL_NAME, TOOL_VERSION, rules, results)
 
 
 def to_json(reports: List[LintReport]) -> Dict[str, Any]:
@@ -174,10 +142,6 @@ def render_text(reports: List[LintReport], verbose: bool = False) -> str:
         f"{len(reports)} workload(s) linted"
     )
     return "\n".join(lines)
-
-
-def dumps(document: Dict[str, Any]) -> str:
-    return json.dumps(document, indent=2, sort_keys=False)
 
 
 __all__ = [

@@ -1,0 +1,403 @@
+"""The litmus corpus: named shapes plus a seeded random family.
+
+Families (2-4 threads, a handful of ops each -- small enough for the
+axiomatic checker's explicit enumeration):
+
+- **mp** -- message passing: a writer publishes data + flag under a
+  lock, a reader acknowledges.  Variants move/remove the fence and cut
+  the publication with a strand.
+- **sb** -- store buffering, persistency edition: two symmetric threads
+  each write two private lines, with and without an ordering fence.
+- **flush** -- single-thread flush placement: where the fence sits
+  decides which prefixes survive; includes a same-line overwrite shape.
+- **epoch** -- epoch-boundary semantics: an acquire-only boundary (no
+  ordering by itself), a strand cut, and a cross-strand same-line
+  conflict (strong persist atomicity).
+- **rand** -- deterministic seeded random programs over the same
+  vocabulary, generated race-contract-safe by construction (private
+  lines freely, the shared line only inside the one lock).
+
+``Compute`` staggers in the two-thread shapes make the operational lock
+order deterministic (thread 0 wins), so the interesting
+publication-order states actually occur operationally instead of being
+pure axiomatic slack.
+
+The **smoke** subset (:data:`SMOKE_TESTS`) is the CI gate: small,
+pinned, golden-diffed (see ``tests/litmus/golden/``).  Pinned gate
+parameters live here too so the CLI default, the golden generator and
+the CI step cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.axiom.program import LitmusHeap, LitmusTest, make_test
+from repro.core.api import (
+    Acquire,
+    Compute,
+    DFence,
+    NewStrand,
+    OFence,
+    Op,
+    Release,
+    Store,
+)
+from repro.crashtest.points import derive_rng
+
+#: pinned parameters of the golden-diffed smoke gate.
+SMOKE_POINTS = 16
+GOLDEN_SEED = 7
+GOLDEN_RAND_COUNT = 4
+
+#: stagger (cycles) that makes thread 0 win the lock deterministically.
+_STAGGER = 3000
+
+
+def _mp_fenced() -> LitmusTest:
+    heap = LitmusHeap()
+    data, flag, ack = heap.loc("data"), heap.loc("flag"), heap.loc("ack")
+    lock = heap.lock("L")
+    return make_test(
+        "mp_fenced",
+        "mp",
+        [
+            [
+                Acquire(lock),
+                Store(data, 8),
+                OFence(),
+                Store(flag, 8),
+                Release(lock),
+            ],
+            [
+                Compute(_STAGGER),
+                Acquire(lock),
+                Store(ack, 8),
+                Release(lock),
+                DFence(),
+            ],
+        ],
+        heap,
+        description="fenced message passing: ack implies data and flag",
+    )
+
+
+def _mp_unfenced() -> LitmusTest:
+    heap = LitmusHeap()
+    data, flag, ack = heap.loc("data"), heap.loc("flag"), heap.loc("ack")
+    lock = heap.lock("L")
+    return make_test(
+        "mp_unfenced",
+        "mp",
+        [
+            [
+                Acquire(lock),
+                Store(data, 8),
+                Store(flag, 8),
+                Release(lock),
+            ],
+            [
+                Compute(_STAGGER),
+                Acquire(lock),
+                Store(ack, 8),
+                Release(lock),
+                DFence(),
+            ],
+        ],
+        heap,
+        description="no fence between data and flag: same epoch, but the "
+        "release still orders both before the acquirer's ack",
+    )
+
+
+def _mp_strand() -> LitmusTest:
+    heap = LitmusHeap()
+    data, flag, ack = heap.loc("data"), heap.loc("flag"), heap.loc("ack")
+    lock = heap.lock("L")
+    return make_test(
+        "mp_strand",
+        "mp",
+        [
+            [
+                Acquire(lock),
+                Store(data, 8),
+                NewStrand(),
+                Store(flag, 8),
+                Release(lock),
+            ],
+            [
+                Compute(_STAGGER),
+                Acquire(lock),
+                Store(ack, 8),
+                Release(lock),
+                DFence(),
+            ],
+        ],
+        heap,
+        description="a strand cut before flag: the release only orders "
+        "the post-strand epoch, so ack no longer implies data",
+    )
+
+
+def _sb_relaxed() -> LitmusTest:
+    heap = LitmusHeap()
+    a0, b0 = heap.loc("a0"), heap.loc("b0")
+    a1, b1 = heap.loc("a1"), heap.loc("b1")
+    return make_test(
+        "sb_relaxed",
+        "sb",
+        [
+            [Store(a0, 8), Store(b0, 8)],
+            [Store(a1, 8), Store(b1, 8)],
+        ],
+        heap,
+        description="no fences anywhere: all 16 survivor combinations "
+        "are allowed",
+    )
+
+
+def _sb_fenced() -> LitmusTest:
+    heap = LitmusHeap()
+    a0, b0 = heap.loc("a0"), heap.loc("b0")
+    a1, b1 = heap.loc("a1"), heap.loc("b1")
+    return make_test(
+        "sb_fenced",
+        "sb",
+        [
+            [Store(a0, 8), OFence(), Store(b0, 8)],
+            [Store(a1, 8), OFence(), Store(b1, 8)],
+        ],
+        heap,
+        description="per-thread fences: b_i surviving implies a_i "
+        "persisted, threads stay independent",
+    )
+
+
+def _flush_none() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y = heap.loc("x"), heap.loc("y")
+    return make_test(
+        "flush_none",
+        "flush",
+        [[Store(x, 8), Store(y, 8)]],
+        heap,
+        description="one epoch, two lines: any survivor subset is legal",
+    )
+
+
+def _flush_ofence() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y = heap.loc("x"), heap.loc("y")
+    return make_test(
+        "flush_ofence",
+        "flush",
+        [[Store(x, 8), OFence(), Store(y, 8)]],
+        heap,
+        description="ofence between the stores: y surviving implies x",
+    )
+
+
+def _flush_dfence() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y = heap.loc("x"), heap.loc("y")
+    return make_test(
+        "flush_dfence",
+        "flush",
+        [[Store(x, 8), DFence(), Store(y, 8)]],
+        heap,
+        description="dfence between the stores: same crash-state set as "
+        "the ofence shape (durability changes timing, not ordering)",
+    )
+
+
+def _flush_same_line() -> LitmusTest:
+    heap = LitmusHeap()
+    x = heap.loc("x")
+    return make_test(
+        "flush_same_line",
+        "flush",
+        [[Store(x, 8), OFence(), Store(x, 8)]],
+        heap,
+        description="same-line overwrite: any per-line prefix survives",
+    )
+
+
+def _epoch_acquire_gap() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y, z = heap.loc("x"), heap.loc("y"), heap.loc("z")
+    lock = heap.lock("L")
+    return make_test(
+        "epoch_acquire_gap",
+        "epoch",
+        [
+            [Acquire(lock), Store(x, 8), OFence(), Store(y, 8), Release(lock)],
+            [
+                Compute(_STAGGER),
+                Acquire(lock),
+                Store(z, 8),
+                Release(lock),
+                DFence(),
+            ],
+        ],
+        heap,
+        description="acquire boundaries order nothing by themselves, but "
+        "the release orders everything sequenced before it",
+    )
+
+
+def _epoch_strand() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y, z = heap.loc("x"), heap.loc("y"), heap.loc("z")
+    return make_test(
+        "epoch_strand",
+        "epoch",
+        [[Store(x, 8), NewStrand(), Store(y, 8), OFence(), Store(z, 8)]],
+        heap,
+        description="strand cut: z implies y (post-strand fence) but "
+        "never x (pre-strand, unordered)",
+    )
+
+
+def _epoch_spa() -> LitmusTest:
+    heap = LitmusHeap()
+    x, y = heap.loc("x"), heap.loc("y")
+    return make_test(
+        "epoch_spa",
+        "epoch",
+        [[Store(x, 8), NewStrand(), Store(x, 8), Store(y, 8)]],
+        heap,
+        description="cross-strand same-line conflict: strong persist "
+        "atomicity orders the second x (and its epoch-mate y) after "
+        "the first x",
+    )
+
+
+#: name -> builder for every named (non-random) corpus test.
+NAMED_BUILDERS: Dict[str, Callable[[], LitmusTest]] = {
+    "mp_fenced": _mp_fenced,
+    "mp_unfenced": _mp_unfenced,
+    "mp_strand": _mp_strand,
+    "sb_relaxed": _sb_relaxed,
+    "sb_fenced": _sb_fenced,
+    "flush_none": _flush_none,
+    "flush_ofence": _flush_ofence,
+    "flush_dfence": _flush_dfence,
+    "flush_same_line": _flush_same_line,
+    "epoch_acquire_gap": _epoch_acquire_gap,
+    "epoch_strand": _epoch_strand,
+    "epoch_spa": _epoch_spa,
+}
+
+#: the blocking CI gate: one representative per family, pinned.
+SMOKE_TESTS: List[str] = [
+    "mp_fenced",
+    "mp_strand",
+    "sb_fenced",
+    "flush_ofence",
+    "epoch_spa",
+]
+
+
+def random_test(seed: int, index: int) -> LitmusTest:
+    """One deterministic random litmus test (contract-safe by design)."""
+    rng: random.Random = derive_rng(
+        {"kind": "litmus-rand", "seed": seed, "index": index}
+    )
+    heap = LitmusHeap()
+    num_threads = rng.choice([2, 2, 3])
+    lock = heap.lock("L")
+    shared = heap.loc("shared")
+    privates: List[List[int]] = [
+        [heap.loc(f"t{t}a"), heap.loc(f"t{t}b")] for t in range(num_threads)
+    ]
+    threads: List[List[Op]] = []
+    for t in range(num_threads):
+        ops: List[Op] = []
+        if t > 0:
+            # stagger acquires so the operational lock order is the
+            # thread order (keeps the diff focused on persist ordering).
+            ops.append(Compute(t * _STAGGER))
+        used_strand = False
+        budget = rng.randint(3, 5)
+        took_lock = False
+        while budget > 0:
+            kind = rng.random()
+            if kind < 0.45:
+                ops.append(Store(rng.choice(privates[t]), rng.choice([8, 16])))
+            elif kind < 0.6:
+                ops.append(OFence())
+            elif kind < 0.7:
+                ops.append(DFence())
+            elif kind < 0.8 and not used_strand:
+                ops.append(NewStrand())
+                used_strand = True
+            elif not took_lock:
+                ops.append(Acquire(lock))
+                ops.append(Store(shared, 8))
+                if rng.random() < 0.5:
+                    ops.append(OFence())
+                ops.append(Release(lock))
+                took_lock = True
+            else:
+                ops.append(Store(rng.choice(privates[t]), 8))
+            budget -= 1
+        threads.append(ops)
+    return make_test(
+        f"rand_s{seed}_{index}",
+        "rand",
+        threads,
+        heap,
+        description=f"seeded random shape (seed={seed}, index={index})",
+    )
+
+
+def build_corpus(
+    seed: int = GOLDEN_SEED,
+    rand_count: int = GOLDEN_RAND_COUNT,
+    family: Optional[str] = None,
+    names: Optional[List[str]] = None,
+) -> List[LitmusTest]:
+    """Materialize corpus tests, optionally filtered by family or name."""
+    tests = [builder() for builder in NAMED_BUILDERS.values()]
+    tests.extend(random_test(seed, index) for index in range(rand_count))
+    if family is not None:
+        tests = [t for t in tests if t.family == family]
+        if not tests:
+            raise KeyError(f"no litmus family {family!r}")
+    if names is not None:
+        by_name = {t.name: t for t in tests}
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise KeyError(
+                f"unknown litmus test(s) {missing}; available: "
+                f"{sorted(by_name)}"
+            )
+        tests = [by_name[name] for name in names]
+    return tests
+
+
+def smoke_corpus() -> List[LitmusTest]:
+    """The pinned CI gate subset."""
+    return build_corpus(names=list(SMOKE_TESTS), rand_count=0)
+
+
+def families() -> List[str]:
+    seen: List[str] = []
+    for test in build_corpus():
+        if test.family not in seen:
+            seen.append(test.family)
+    return seen
+
+
+__all__ = [
+    "GOLDEN_RAND_COUNT",
+    "GOLDEN_SEED",
+    "NAMED_BUILDERS",
+    "SMOKE_POINTS",
+    "SMOKE_TESTS",
+    "build_corpus",
+    "families",
+    "random_test",
+    "smoke_corpus",
+]

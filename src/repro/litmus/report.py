@@ -1,0 +1,272 @@
+"""Diff classification and rendering for litmus cross-validation.
+
+Per (test, model) cell, the operational state set is compared against
+the axiomatic allowed-set:
+
+- **forbidden** (observed but not allowed) -- *operational-too-weak*:
+  the simulator reached a state the formal model forbids.  This is a
+  simulator bug (or a hole in the axioms); it fails the gate.
+- **unobserved** (allowed but not observed) -- *operational-too-strong*:
+  the simulator's single timing/synchronization path did not exhibit a
+  formally-allowed behavior.  Expected in bounded runs (the axiomatic
+  set unions over all lock orders; a design may simply be conservative);
+  reported for triage, never fatal by default.
+
+Renderers: text, canonical JSON, and SARIF 2.1.0 through the shared
+:mod:`repro.report` path (rule LT001 = forbidden state, error; LT002 =
+unobserved state, note).  The disagreement document is golden-diffed in
+CI, so its JSON is canonical: sorted keys, sorted states, no volatile
+fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.report import SarifResult, SarifRule, make_sarif
+
+LITMUS_TOOL_NAME = "repro-litmus"
+LITMUS_TOOL_VERSION = "1.0.0"
+LITMUS_REPORT_SCHEMA = 1
+
+#: artifact every SARIF result points at (litmus programs are built
+#: here, not read from workload sources).
+_CORPUS_URI = "src/repro/litmus/corpus.py"
+
+FORBIDDEN_RULE = SarifRule(
+    id="LT001",
+    name="forbidden-state",
+    summary="operational simulator reached a state the axiomatic "
+    "Px86/PTSO model forbids (operational-too-weak)",
+    level="error",
+    help_text="a reachable forbidden crash state means the simulator "
+    "under-enforces persist ordering; minimize with repro crashtest "
+    "and fix the model (see docs/litmus.md triage)",
+)
+
+UNOBSERVED_RULE = SarifRule(
+    id="LT002",
+    name="unobserved-state",
+    summary="axiomatically-allowed crash state not observed "
+    "operationally (operational-too-strong)",
+    level="note",
+    help_text="bounded crash-point sampling and the simulator's single "
+    "synchronization order cannot exhibit every allowed behavior; "
+    "confirm the gap is benign per docs/litmus.md",
+)
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """Operational vs axiomatic comparison of one (test, model) cell."""
+
+    test: str
+    family: str
+    model: str
+    observed: Tuple[str, ...]
+    #: observed but axiomatically forbidden (simulator bug).
+    forbidden: Tuple[str, ...]
+    #: allowed but never observed (conservatism / sampling slack).
+    unobserved: Tuple[str, ...]
+    #: observed state -> first crash cycle that exposed it.
+    first_cycle: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.forbidden
+
+    @property
+    def clean(self) -> bool:
+        return not self.forbidden and not self.unobserved
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "test": self.test,
+            "family": self.family,
+            "model": self.model,
+            "observed": list(self.observed),
+            "forbidden": list(self.forbidden),
+            "unobserved": list(self.unobserved),
+        }
+
+
+@dataclass
+class LitmusReport:
+    """Everything one litmus run produced, ready to render."""
+
+    points: int
+    seed: int
+    models: List[str]
+    #: test -> sorted formatted allowed states.
+    allowed: Dict[str, List[str]]
+    #: test -> number of candidate executions explored.
+    executions: Dict[str, int]
+    #: tests whose enumeration hit a cap (allowed set may be partial).
+    truncated: List[str]
+    cells: List[CellDiff]
+
+    def forbidden_count(self) -> int:
+        return sum(len(cell.forbidden) for cell in self.cells)
+
+    def unobserved_count(self) -> int:
+        return sum(len(cell.unobserved) for cell in self.cells)
+
+    def ok(self, fail_on: str = "forbidden") -> bool:
+        """Gate verdict.  ``fail_on``: forbidden | any | never."""
+        if fail_on == "never":
+            return True
+        if fail_on == "forbidden":
+            return self.forbidden_count() == 0
+        if fail_on == "any":
+            return self.forbidden_count() == 0 and self.unobserved_count() == 0
+        raise ValueError(
+            f"unknown fail_on {fail_on!r}; expected forbidden|any|never"
+        )
+
+    def sorted_cells(self) -> List[CellDiff]:
+        return sorted(self.cells, key=lambda c: (c.test, c.model))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": "litmus-report",
+            "schema": LITMUS_REPORT_SCHEMA,
+            "tool": LITMUS_TOOL_NAME,
+            "version": LITMUS_TOOL_VERSION,
+            "points": self.points,
+            "seed": self.seed,
+            "models": list(self.models),
+            "allowed": {
+                test: list(states)
+                for test, states in sorted(self.allowed.items())
+            },
+            "executions": {
+                test: self.executions[test]
+                for test in sorted(self.executions)
+            },
+            "truncated": sorted(self.truncated),
+            "cells": [cell.to_dict() for cell in self.sorted_cells()],
+            "totals": {
+                "cells": len(self.cells),
+                "forbidden": self.forbidden_count(),
+                "unobserved": self.unobserved_count(),
+            },
+        }
+
+    def disagreements_doc(self) -> Dict[str, Any]:
+        """The golden-diffed disagreement document: canonical, minimal.
+
+        Every cell appears (even clean ones), so a *new* disagreement in
+        a previously clean cell changes the document and fails the
+        byte-for-byte CI diff.
+        """
+        cells: Dict[str, Dict[str, List[str]]] = {}
+        for cell in self.sorted_cells():
+            cells[f"{cell.test}/{cell.model}"] = {
+                "forbidden": list(cell.forbidden),
+                "unobserved": list(cell.unobserved),
+            }
+        return {
+            "kind": "litmus-disagreements",
+            "schema": LITMUS_REPORT_SCHEMA,
+            "points": self.points,
+            "seed": self.seed,
+            "models": list(self.models),
+            "cells": cells,
+        }
+
+    def render_text(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        for cell in self.sorted_cells():
+            n_allowed = len(self.allowed.get(cell.test, []))
+            status = "OK" if cell.ok else "FORBIDDEN-STATE"
+            lines.append(
+                f"{cell.test}/{cell.model}: {status} "
+                f"({len(cell.observed)} observed, {n_allowed} allowed, "
+                f"{len(cell.unobserved)} unobserved)"
+            )
+            for state in cell.forbidden:
+                cycle = cell.first_cycle.get(state)
+                at = f" (first at cycle {cycle})" if cycle is not None else ""
+                lines.append(f"  [ERROR] forbidden state: {state}{at}")
+            if verbose:
+                for state in cell.unobserved:
+                    lines.append(f"  [note] unobserved: {state}")
+        for test in sorted(self.truncated):
+            lines.append(
+                f"warning: {test}: execution enumeration truncated "
+                f"(allowed set may be partial)"
+            )
+        lines.append(
+            f"total: {len(self.cells)} cell(s), "
+            f"{self.forbidden_count()} forbidden, "
+            f"{self.unobserved_count()} unobserved "
+            f"(operational-too-strong)"
+        )
+        return "\n".join(lines)
+
+    def to_sarif(self) -> Dict[str, Any]:
+        results: List[SarifResult] = []
+        for cell in self.sorted_cells():
+            for state in cell.forbidden:
+                properties: Dict[str, Any] = {
+                    "test": cell.test,
+                    "family": cell.family,
+                    "model": cell.model,
+                    "state": state,
+                    "classification": "operational-too-weak",
+                }
+                cycle = cell.first_cycle.get(state)
+                if cycle is not None:
+                    properties["firstCrashCycle"] = cycle
+                results.append(
+                    SarifResult(
+                        rule_id=FORBIDDEN_RULE.id,
+                        level=FORBIDDEN_RULE.level,
+                        message=(
+                            f"[{cell.test}/{cell.model}] crash state "
+                            f"{state!r} is reachable operationally but "
+                            f"forbidden by the axiomatic model"
+                        ),
+                        uri=_CORPUS_URI,
+                        properties=properties,
+                    )
+                )
+            if cell.unobserved:
+                results.append(
+                    SarifResult(
+                        rule_id=UNOBSERVED_RULE.id,
+                        level=UNOBSERVED_RULE.level,
+                        message=(
+                            f"[{cell.test}/{cell.model}] "
+                            f"{len(cell.unobserved)} axiomatically-"
+                            f"allowed state(s) not observed "
+                            f"operationally"
+                        ),
+                        uri=_CORPUS_URI,
+                        properties={
+                            "test": cell.test,
+                            "family": cell.family,
+                            "model": cell.model,
+                            "states": list(cell.unobserved),
+                            "classification": "operational-too-strong",
+                        },
+                    )
+                )
+        return make_sarif(
+            LITMUS_TOOL_NAME,
+            LITMUS_TOOL_VERSION,
+            [FORBIDDEN_RULE, UNOBSERVED_RULE],
+            results,
+        )
+
+
+__all__ = [
+    "CellDiff",
+    "FORBIDDEN_RULE",
+    "LITMUS_REPORT_SCHEMA",
+    "LITMUS_TOOL_NAME",
+    "LITMUS_TOOL_VERSION",
+    "LitmusReport",
+    "UNOBSERVED_RULE",
+]

@@ -1,0 +1,29 @@
+"""`repro.report` -- shared report-rendering infrastructure.
+
+One schema-validated SARIF 2.1.0 emission path for every static tool in
+the repo: :mod:`repro.lint` (persistency linter findings) and
+:mod:`repro.litmus` (operational-vs-axiomatic disagreements) both build
+:class:`SarifRule` / :class:`SarifResult` values and hand them to
+:func:`make_sarif`, so the document shape GitHub code scanning ingests
+is produced -- and tested -- in exactly one place.
+"""
+
+from repro.report.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    SarifResult,
+    SarifRule,
+    dumps,
+    make_sarif,
+    relative_uri,
+)
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "SarifResult",
+    "SarifRule",
+    "dumps",
+    "make_sarif",
+    "relative_uri",
+]

@@ -12,6 +12,7 @@ import json
 from typing import Any, List
 
 from repro.core.api import (
+    CAS,
     Acquire,
     Compute,
     DFence,
@@ -28,6 +29,10 @@ _JSON_SAFE = (str, int, float, bool, type(None))
 
 def encode_op(op: Op) -> List[Any]:
     """Encode one op as a compact list."""
+    # CAS subclasses Store, so its isinstance check must come first.
+    if isinstance(op, CAS):
+        payload = op.payload if isinstance(op.payload, _JSON_SAFE) else None
+        return ["CS", op.addr, op.size, payload]
     if isinstance(op, Store):
         payload = op.payload if isinstance(op.payload, _JSON_SAFE) else None
         return ["S", op.addr, op.size, payload]
@@ -53,6 +58,8 @@ def decode_op(encoded: List[Any]) -> Op:
     tag = encoded[0]
     if tag == "S":
         return Store(encoded[1], encoded[2], encoded[3])
+    if tag == "CS":
+        return CAS(encoded[1], encoded[2], encoded[3])
     if tag == "L":
         return Load(encoded[1], encoded[2])
     if tag == "OF":

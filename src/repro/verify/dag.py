@@ -27,6 +27,32 @@ class EpochDag:
     nodes: Set[EpochId]
     successors: Dict[EpochId, List[EpochId]]
 
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Iterable[EpochId],
+        edges: Iterable[Tuple[EpochId, EpochId]],
+    ) -> "EpochDag":
+        """Build a DAG from an explicit node and edge list.
+
+        This is how declarative clients (the axiomatic checker in
+        :mod:`repro.axiom`) hand a candidate epoch-ordering graph to
+        :func:`~repro.verify.consistency.check_consistency` without
+        going through a simulated run's :class:`EpochLog`.  Duplicate
+        edges are dropped; endpoints are added to the node set.
+        """
+        node_set: Set[EpochId] = set(nodes)
+        successors: Dict[EpochId, List[EpochId]] = {}
+        seen: Set[Tuple[EpochId, EpochId]] = set()
+        for src, dst in edges:
+            node_set.add(src)
+            node_set.add(dst)
+            if (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            successors.setdefault(src, []).append(dst)
+        return cls(nodes=node_set, successors=successors)
+
     def descendants(self, roots: Iterable[EpochId]) -> Set[EpochId]:
         """Every epoch strictly reachable from ``roots`` (roots excluded
         unless reachable from another root)."""

@@ -20,6 +20,10 @@ The seeded bugs, in stream order:
   (oversized).
 - **PL002 unpersisted-tail** -- thread 0 ends (after a ``NewStrand``,
   for strand coverage) with dirty stores and no ``DFence``.
+- **PL006 cas-publish** -- thread 1 initializes a 16-byte node and
+  immediately ``CAS``-publishes it into a persistent list head with no
+  fence in between: recovery can follow the new pointer to an
+  unpersisted node.
 
 The fixture also seeds a **crash-oracle true positive** for
 :mod:`repro.crashtest`: thread 0 tags its stores with one ordered chain
@@ -40,6 +44,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.api import (
+    CAS,
     Acquire,
     Compute,
     DFence,
@@ -75,6 +80,8 @@ class BuggyDemo(Workload):
         hot = heap.alloc_lines(1)      # self-dependency chain target
         big = heap.alloc_lines(self.OVERSIZED_LINES)
         tail = heap.alloc_lines(1)     # never drained
+        node = heap.alloc_lines(1)     # lock-free node, CAS-published
+        head = heap.alloc_lines(1)     # persistent list head
         clean = heap.alloc_lines(max(1, num_threads))
 
         def buggy_writer() -> Program:
@@ -114,6 +121,12 @@ class BuggyDemo(Workload):
             yield Store(shared, 16)
             yield OFence()
             yield Release(lock_b)
+            yield DFence()
+            # PL006: the node is initialized and CAS-linked into the
+            # persistent head with no fence between -- the pointer can
+            # persist before the node it points to.
+            yield Store(node, 16)
+            yield CAS(head, 8)
             yield DFence()
 
         def clean_worker(thread: int) -> Program:

@@ -1,0 +1,114 @@
+"""Axiomatic allowed-set semantics on the named corpus shapes."""
+
+from repro.axiom import (
+    allowed_states,
+    annotate_epochs,
+    enumerate_executions,
+    execution_allows,
+    is_state_allowed,
+    parse_state,
+)
+from repro.litmus.corpus import NAMED_BUILDERS
+
+
+def _allowed(name):
+    return set(allowed_states(NAMED_BUILDERS[name]()).formatted())
+
+
+class TestFlushFamily:
+    def test_flush_none_allows_every_subset(self):
+        assert _allowed("flush_none") == {
+            "x=init y=init",
+            "x=init y=t0s2",
+            "x=t0s1 y=init",
+            "x=t0s1 y=t0s2",
+        }
+
+    def test_flush_ofence_orders_y_after_x(self):
+        assert _allowed("flush_ofence") == {
+            "x=init y=init",
+            "x=t0s1 y=init",
+            "x=t0s1 y=t0s2",
+        }
+
+    def test_flush_dfence_matches_ofence_states(self):
+        # durability changes timing, not the crash-state set.
+        assert _allowed("flush_dfence") == {
+            "x=init y=init",
+            "x=t0s1 y=init",
+            "x=t0s1 y=t0s2",
+        }
+
+    def test_same_line_prefixes(self):
+        assert _allowed("flush_same_line") == {
+            "x=init", "x=t0s1", "x=t0s2",
+        }
+
+
+class TestEpochFamily:
+    def test_strand_cut_unorders_pre_strand_store(self):
+        # z implies y (post-strand fence); x is free either way.
+        assert _allowed("epoch_strand") == {
+            "x=init y=init z=init",
+            "x=init y=t0s2 z=init",
+            "x=init y=t0s2 z=t0s3",
+            "x=t0s1 y=init z=init",
+            "x=t0s1 y=t0s2 z=init",
+            "x=t0s1 y=t0s2 z=t0s3",
+        }
+
+    def test_spa_orders_cross_strand_same_line_conflict(self):
+        # the second x (and its epoch-mate y) persist after the first x:
+        # seeing y=t0s3 with x still init is the one forbidden shape.
+        allowed = _allowed("epoch_spa")
+        assert "x=init y=t0s3" not in allowed
+        assert allowed == {
+            "x=init y=init",
+            "x=t0s1 y=init",
+            "x=t0s1 y=t0s3",
+            "x=t0s2 y=init",
+            "x=t0s2 y=t0s3",
+        }
+
+
+class TestMpFamily:
+    def test_mp_fenced_ack_implies_publication(self):
+        # in the writer-first lock order, ack implies data and flag; the
+        # union also admits the reader-first order (ack alone).
+        allowed = _allowed("mp_fenced")
+        assert "ack=t1s1 data=t0s1 flag=t0s2" in allowed
+        assert "ack=t1s1 data=init flag=t0s2" not in allowed
+        assert "ack=init data=init flag=t0s2" not in allowed
+
+    def test_mp_strand_breaks_the_implication(self):
+        # the strand decouples data from the release: flag/ack may
+        # persist while data never does.
+        allowed = _allowed("mp_strand")
+        assert "ack=t1s1 data=init flag=t0s2" in allowed
+
+
+class TestMembershipApi:
+    def test_is_state_allowed_agrees_with_enumeration(self):
+        test = NAMED_BUILDERS["flush_ofence"]()
+        assert is_state_allowed(test, parse_state("x=t0s1 y=init"))
+        assert not is_state_allowed(test, parse_state("x=init y=t0s2"))
+
+    def test_execution_restriction_tightens_membership(self):
+        # mp_fenced: under the writer-first lock order specifically,
+        # ack=t1s1 with nothing published is forbidden -- the union
+        # admits it only via the reader-first order.
+        test = NAMED_BUILDERS["mp_fenced"]()
+        epochs = annotate_epochs(test)
+        executions = enumerate_executions(test).executions
+        state = parse_state("ack=t1s1 data=init flag=init")
+        assert is_state_allowed(test, state)  # union: reader-first order
+
+        def writer_first(execution):
+            (release, acquire), = execution.sync_pairs
+            return release[0] == 0 and acquire[0] == 1
+
+        restricted = [e for e in executions if writer_first(e)]
+        assert restricted
+        assert all(
+            not execution_allows(test, epochs, e, state) for e in restricted
+        )

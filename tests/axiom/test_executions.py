@@ -1,0 +1,76 @@
+"""Candidate-execution enumeration."""
+
+from repro.axiom import (
+    LitmusHeap,
+    enumerate_executions,
+    make_test,
+    writes_of,
+)
+from repro.core.api import Acquire, OFence, Release, Store
+
+
+def _single_thread_two_lines():
+    heap = LitmusHeap()
+    x, y = heap.loc("x"), heap.loc("y")
+    return make_test(
+        "t", "flush", [[Store(x, 8), OFence(), Store(y, 8)]], heap,
+    )
+
+
+def _mp_locked():
+    heap = LitmusHeap()
+    lock = heap.lock("L")
+    x = heap.loc("x")
+    return make_test(
+        "t", "mp",
+        [
+            [Acquire(lock), Store(x, 8), Release(lock)],
+            [Acquire(lock), Store(x, 8), Release(lock)],
+        ],
+        heap,
+    )
+
+
+class TestEnumeration:
+    def test_single_thread_has_one_execution(self):
+        exec_set = enumerate_executions(_single_thread_two_lines())
+        assert len(exec_set.executions) == 1
+        assert not exec_set.truncated
+        execution = exec_set.executions[0]
+        # one write per line, so each coherence order is a singleton
+        assert all(
+            len(order) == 1 for order in execution.coherence_map().values()
+        )
+        assert execution.sync_pairs == ()
+
+    def test_witness_covers_every_write(self):
+        test = _single_thread_two_lines()
+        execution = enumerate_executions(test).executions[0]
+        assert len(execution.witness) == len(writes_of(test))
+
+    def test_locked_conflict_yields_both_orders(self):
+        exec_set = enumerate_executions(_mp_locked())
+        assert len(exec_set.executions) == 2
+        line = next(iter(exec_set.executions[0].coherence_map()))
+        orders = {
+            tuple(w.label for w in execution.coherence_map()[line])
+            for execution in exec_set.executions
+        }
+        assert orders == {("t0s1", "t1s1"), ("t1s1", "t0s1")}
+
+    def test_sync_pairs_follow_lock_order(self):
+        for execution in enumerate_executions(_mp_locked()).executions:
+            # exactly one cross-thread release->acquire handoff
+            assert len(execution.sync_pairs) == 1
+            release, acquire = execution.sync_pairs[0]
+            assert release[0] != acquire[0]
+
+    def test_truncation_flag(self):
+        heap = LitmusHeap()
+        lock = heap.lock("L")
+        x = heap.loc("x")
+        cs = [Acquire(lock), Store(x, 8), Release(lock)]
+        test = make_test("t", "mp", [cs * 3, cs * 3], heap, max_ops=12)
+        exec_set = enumerate_executions(test, max_executions=2)
+        assert exec_set.truncated
+        assert len(exec_set.executions) == 2

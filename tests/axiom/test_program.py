@@ -1,0 +1,115 @@
+"""Litmus program construction and validation."""
+
+import pytest
+
+from repro.axiom import (
+    INIT,
+    LitmusHeap,
+    format_state,
+    make_test,
+    parse_state,
+)
+from repro.core.api import Acquire, OFence, Release, Store
+
+
+def _heap_xy():
+    heap = LitmusHeap()
+    return heap, heap.loc("x"), heap.loc("y")
+
+
+class TestMakeTest:
+    def test_auto_labels_are_per_thread_ordinals(self):
+        heap, x, y = _heap_xy()
+        test = make_test(
+            "t", "flush",
+            [[Store(x, 8), Store(y, 8)], [OFence()]],
+            heap,
+        )
+        labels = [op.payload for op in test.threads[0]]
+        assert labels == ["t0s1", "t0s2"]
+
+    def test_explicit_labels_survive(self):
+        heap, x, _ = _heap_xy()
+        test = make_test(
+            "t", "flush", [[Store(x, 8, "mine")]], heap,
+        )
+        assert test.threads[0][0].payload == "mine"
+
+    def test_duplicate_label_rejected(self):
+        heap, x, y = _heap_xy()
+        with pytest.raises(ValueError, match="duplicate"):
+            make_test(
+                "t", "flush",
+                [[Store(x, 8, "dup"), Store(y, 8, "dup")]],
+                heap,
+            )
+
+    def test_init_label_reserved(self):
+        heap, x, _ = _heap_xy()
+        with pytest.raises(ValueError, match="duplicate/reserved"):
+            make_test("t", "flush", [[Store(x, 8, INIT)]], heap)
+
+    def test_store_to_unnamed_address_rejected(self):
+        heap, x, _ = _heap_xy()
+        with pytest.raises(ValueError, match="unnamed"):
+            make_test("t", "flush", [[Store(x + 0x4000, 8)]], heap)
+
+    def test_op_budget_enforced(self):
+        heap, x, _ = _heap_xy()
+        ops = [Store(x, 8)] + [OFence()] * 20
+        with pytest.raises(ValueError, match="budget"):
+            make_test("t", "flush", [ops], heap)
+        # a caller-raised budget admits the same program
+        make_test("t2", "flush", [ops], heap, max_ops=32)
+
+    def test_too_many_threads_rejected(self):
+        heap, x, _ = _heap_xy()
+        with pytest.raises(ValueError, match="threads"):
+            make_test("t", "flush", [[OFence()]] * 5, heap)
+
+    def test_release_of_unheld_lock_rejected(self):
+        heap = LitmusHeap()
+        lock = heap.lock("L")
+        heap.loc("x")
+        with pytest.raises(ValueError, match="unheld"):
+            make_test("t", "mp", [[Release(lock)]], heap)
+
+    def test_thread_must_not_end_holding_a_lock(self):
+        heap = LitmusHeap()
+        lock = heap.lock("L")
+        heap.loc("x")
+        with pytest.raises(ValueError, match="ends holding"):
+            make_test("t", "mp", [[Acquire(lock)]], heap)
+
+    def test_race_contract_rejects_unlocked_sharing(self):
+        heap = LitmusHeap()
+        x = heap.loc("x")
+        with pytest.raises(ValueError, match="race contract"):
+            make_test(
+                "t", "mp", [[Store(x, 8)], [Store(x, 8)]], heap,
+            )
+
+    def test_race_contract_accepts_common_lock(self):
+        heap = LitmusHeap()
+        lock = heap.lock("L")
+        x = heap.loc("x")
+        test = make_test(
+            "t", "mp",
+            [
+                [Acquire(lock), Store(x, 8), Release(lock)],
+                [Acquire(lock), Store(x, 8), Release(lock)],
+            ],
+            heap,
+        )
+        assert len(test.stores()) == 2
+
+
+class TestStateFormat:
+    def test_round_trip(self):
+        state = (("x", "t0s1"), ("y", INIT))
+        assert parse_state(format_state(state)) == state
+
+    def test_initial_state_is_all_init(self):
+        heap, x, y = _heap_xy()
+        test = make_test("t", "flush", [[Store(x, 8)]], heap)
+        assert test.initial_state() == (("x", INIT), ("y", INIT))

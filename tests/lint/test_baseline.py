@@ -106,6 +106,7 @@ class TestSuppressions:
             "redundant-fence",
             "persist-race",
             "epoch-shape",
+            "cas-publish",
         }
         assert [f.detector for f, _ in report.suppressed] == [
             "unfenced-release"

@@ -9,8 +9,10 @@ for that detector by construction.
 import pytest
 
 from repro.core.api import (
+    CAS,
     Acquire,
     DFence,
+    NewStrand,
     OFence,
     Release,
     Store,
@@ -156,6 +158,99 @@ class TestEpochShape:
         assert not _hits(report, "epoch-shape")
 
 
+class TestCasPublish:
+    def test_true_positive(self, buggy_report):
+        hits = _hits(buggy_report, "cas-publish")
+        assert hits, "buggy_demo must trip PL006"
+        assert all(h.rule_id == "PL006" for h in hits)
+        assert all(h.severity is Severity.ERROR for h in hits)
+
+    def test_unflushed_payload_before_cas(self):
+        ops = [Store(0x40, 8), CAS(0x80, 8), DFence()]
+        report = lint_trace("t", [ops])
+        hits = _hits(report, "cas-publish")
+        assert len(hits) == 1
+        assert hits[0].rule_id == "PL006"
+
+    def test_fence_before_cas_is_clean(self):
+        # the payload store is persist-ordered before the publish.
+        for fence in (OFence(), DFence()):
+            ops = [Store(0x40, 8), fence, CAS(0x80, 8), DFence()]
+            report = lint_trace("t", [ops])
+            assert not _hits(report, "cas-publish")
+
+    def test_cas_on_payload_line_is_not_a_publish(self):
+        # CAS overwriting the same line it "publishes" is a same-line
+        # update, not a pointer publish: per-line persist order already
+        # protects it.
+        ops = [Store(0x40, 8), CAS(0x40, 8), DFence()]
+        report = lint_trace("t", [ops])
+        assert not _hits(report, "cas-publish")
+
+    def test_strand_cut_resets_tracking(self):
+        # cross-strand ordering is PL004/SPA territory, not PL006's.
+        ops = [Store(0x40, 8), NewStrand(), CAS(0x80, 8), DFence()]
+        report = lint_trace("t", [ops])
+        assert not _hits(report, "cas-publish")
+
+    def test_chained_cas_carries_forward(self):
+        # an unfenced CAS joins the pending set: a second CAS publishes it.
+        ops = [Store(0x40, 8), OFence(), CAS(0x80, 8), CAS(0xC0, 8),
+               DFence()]
+        report = lint_trace("t", [ops])
+        hits = _hits(report, "cas-publish")
+        assert len(hits) == 1
+
+    def test_true_negative_stock_workloads(self):
+        # no stock workload publishes via CAS at all.
+        for name in ("echo", "queue"):
+            report = lint_workload(name, LintConfig(threads=4))
+            assert not _hits(report, "cas-publish")
+
+
+class TestUnusedSuppression:
+    def test_stale_suppression_flagged(self):
+        from repro.lint import expand_workload, lint_stream
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("echo")
+        config = LintConfig(threads=4)
+        stream = expand_workload(workload, config)
+        report = lint_stream(
+            stream, config, {"cas-publish": "stale (docs/lint.md)"}
+        )
+        hits = report.by_detector("unused-suppression")
+        assert len(hits) == 1
+        assert hits[0].rule_id == "PL000"
+        assert hits[0].severity is Severity.NOTE
+        assert "cas-publish" in hits[0].message
+
+    def test_matching_suppression_not_flagged(self):
+        from repro.lint import expand_workload, lint_stream
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("buggy_demo")
+        config = LintConfig(threads=4)
+        stream = expand_workload(workload, config)
+        report = lint_stream(
+            stream, config, {"cas-publish": "known (docs/lint.md)"}
+        )
+        assert not report.by_detector("unused-suppression")
+        assert [f.detector for f, _ in report.suppressed] == ["cas-publish"]
+
+    def test_suppression_for_disabled_detector_not_judged(self):
+        from repro.lint import expand_workload, lint_stream
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("echo")
+        config = LintConfig(threads=4, detectors=["unfenced-release"])
+        stream = expand_workload(workload, config)
+        report = lint_stream(
+            stream, config, {"cas-publish": "not judged this pass"}
+        )
+        assert not report.by_detector("unused-suppression")
+
+
 class TestDetectorSelection:
     def test_only_requested_detectors_run(self):
         config = LintConfig(threads=4, detectors=["unpersisted-tail"])
@@ -166,11 +261,12 @@ class TestDetectorSelection:
         with pytest.raises(LintError, match="unknown detector"):
             lint_workload("buggy_demo", LintConfig(detectors=["nope"]))
 
-    def test_registry_has_all_five(self):
+    def test_registry_has_all_six(self):
         assert set(DETECTORS) == {
             "unfenced-release",
             "unpersisted-tail",
             "redundant-fence",
             "persist-race",
             "epoch-shape",
+            "cas-publish",
         }

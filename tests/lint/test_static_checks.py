@@ -25,7 +25,9 @@ def test_ruff_clean_on_typed_packages():
     proc = subprocess.run(
         [sys.executable, "-m", "ruff", "check", "src/repro/lint",
          "src/repro/workloads", "src/repro/sim", "src/repro/bench",
-         "tests/lint", "tests/bench"],
+         "src/repro/axiom", "src/repro/litmus", "src/repro/report",
+         "tests/lint", "tests/bench", "tests/axiom", "tests/litmus",
+         "tests/report"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -35,7 +37,8 @@ def test_ruff_clean_on_typed_packages():
 
 @pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
 @pytest.mark.parametrize(
-    "package", ["src/repro/lint", "src/repro/sim", "src/repro/bench"]
+    "package", ["src/repro/lint", "src/repro/sim", "src/repro/bench",
+                "src/repro/axiom", "src/repro/litmus", "src/repro/report"]
 )
 def test_mypy_strict_on_typed_packages(package):
     proc = subprocess.run(

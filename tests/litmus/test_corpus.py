@@ -1,0 +1,55 @@
+"""Corpus validity and determinism."""
+
+import pytest
+
+from repro.litmus.corpus import (
+    GOLDEN_SEED,
+    NAMED_BUILDERS,
+    SMOKE_TESTS,
+    build_corpus,
+    families,
+    random_test,
+    smoke_corpus,
+)
+
+
+class TestCorpus:
+    def test_names_are_unique(self):
+        tests = build_corpus()
+        names = [t.name for t in tests]
+        assert len(names) == len(set(names))
+
+    def test_smoke_subset_exists(self):
+        names = {t.name for t in build_corpus()}
+        assert set(SMOKE_TESTS) <= names
+        assert [t.name for t in smoke_corpus()] == list(SMOKE_TESTS)
+
+    def test_smoke_covers_every_family_but_rand(self):
+        smoke_families = {t.family for t in smoke_corpus()}
+        assert smoke_families == {"mp", "sb", "flush", "epoch"}
+
+    def test_every_family_represented(self):
+        assert families() == ["mp", "sb", "flush", "epoch", "rand"]
+
+    def test_named_builders_all_construct(self):
+        # construction itself runs the full make_test validation
+        # (race contract included).
+        for name, builder in NAMED_BUILDERS.items():
+            test = builder()
+            assert test.name == name
+            assert test.stores(), f"{name} has no stores to observe"
+
+    def test_random_family_is_deterministic(self):
+        a = random_test(GOLDEN_SEED, 2)
+        b = random_test(GOLDEN_SEED, 2)
+        assert a == b
+        assert a != random_test(GOLDEN_SEED, 3)
+        assert a != random_test(GOLDEN_SEED + 1, 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown litmus test"):
+            build_corpus(names=["nope"])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="no litmus family"):
+            build_corpus(family="nope")

@@ -1,0 +1,69 @@
+"""Golden-pinned litmus corpus: axiomatic sets and the smoke diff.
+
+Regenerate with ``PYTHONPATH=src python scripts/gen_litmus_golden.py``
+ONLY when a PR intentionally changes persistency semantics, the axioms,
+or the corpus -- and review the diff line-by-line.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.axiom import allowed_states
+from repro.litmus import (
+    GOLDEN_SEED,
+    LitmusRunOptions,
+    SMOKE_POINTS,
+    build_corpus,
+    run_litmus,
+    smoke_corpus,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _load(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+class TestAllowedSetsGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return _load("allowed_sets.json")
+
+    def test_corpus_roster_matches(self, golden):
+        assert sorted(golden["tests"]) == sorted(
+            t.name for t in build_corpus()
+        )
+        assert golden["seed"] == GOLDEN_SEED
+
+    def test_axiomatic_sets_match_golden(self, golden):
+        for test in build_corpus():
+            aset = allowed_states(test)
+            pinned = golden["tests"][test.name]
+            assert aset.formatted() == pinned["states"], test.name
+            assert aset.executions == pinned["executions"], test.name
+            assert aset.truncated == pinned["truncated"], test.name
+
+
+class TestDisagreementsGolden:
+    def test_smoke_disagreements_match_golden_byte_for_byte(self):
+        report = run_litmus(
+            smoke_corpus(),
+            LitmusRunOptions(points=SMOKE_POINTS, seed=GOLDEN_SEED),
+        )
+        regenerated = json.dumps(
+            report.disagreements_doc(), indent=2, sort_keys=True
+        ) + "\n"
+        pinned = (GOLDEN_DIR / "disagreements.json").read_text()
+        assert regenerated == pinned, (
+            "smoke disagreement document drifted from the golden; if the "
+            "semantic change is intentional, regenerate with "
+            "scripts/gen_litmus_golden.py and review the diff"
+        )
+
+    def test_golden_contains_no_forbidden_states(self):
+        doc = _load("disagreements.json")
+        for cell, diff in doc["cells"].items():
+            assert diff["forbidden"] == [], cell

@@ -56,7 +56,14 @@ class TestConvergence:
     @settings(max_examples=15, deadline=None)
     def test_asap_and_hops_converge_identically(self, seed, epoch_size, sharing):
         """Trace-driven differential: both buffered designs end with the
-        same durable image for the same trace."""
+        same durable image for the same trace.
+
+        Global write IDs are assigned in execution order, so two cores'
+        stores can be numbered differently under different timing models;
+        compare each line's surviving write by its model-invariant
+        identity -- (core, program-order ordinal within that core) --
+        not by raw write ID.
+        """
         config = SyntheticTraceConfig(
             num_threads=2, ops_per_thread=24, epoch_size=epoch_size,
             sharing=sharing, seed=seed,
@@ -68,7 +75,16 @@ class TestConvergence:
                 MachineConfig(num_cores=2), RunConfig(hardware=hardware)
             )
             machine.run(trace.programs())
-            images[hardware] = crash_machine(machine).media
+            media = crash_machine(machine).media
+            ordinal = {}
+            per_core = {}
+            for write_id in sorted(machine.log.writes):
+                core = machine.log.writes[write_id].core
+                per_core[core] = per_core.get(core, -1) + 1
+                ordinal[write_id] = (core, per_core[core])
+            images[hardware] = {
+                line: ordinal[write_id] for line, write_id in media.items()
+            }
         assert images[HardwareModel.ASAP] == images[HardwareModel.HOPS]
 
 

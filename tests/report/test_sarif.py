@@ -1,0 +1,66 @@
+"""The shared SARIF 2.1.0 renderer (used by repro.lint and repro.litmus)."""
+
+import json
+
+import pytest
+
+from repro.report import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    SarifResult,
+    SarifRule,
+    dumps,
+    make_sarif,
+    relative_uri,
+)
+
+RULE = SarifRule(id="XX001", name="demo", summary="a demo rule",
+                 level="warning", help_text="do the thing")
+
+
+class TestBuildingBlocks:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            SarifRule(id="XX002", name="bad", summary="s", level="fatal")
+        with pytest.raises(ValueError, match="level"):
+            SarifResult(rule_id="XX001", level="fatal", message="m")
+
+    def test_relative_uri_cuts_at_marker(self):
+        assert relative_uri("/abs/repo/src/repro/x.py") == "src/repro/x.py"
+        assert relative_uri(
+            "/abs/repo/tests/lint/t.py"
+        ) == "tests/lint/t.py"
+        # unknown paths degrade to the file name, missing to "unknown"
+        assert relative_uri("/elsewhere/x.py") == "x.py"
+        assert relative_uri("/abs/tests/x.py", markers=("src",)) == "x.py"
+        assert relative_uri(None) == "unknown"
+
+
+class TestMakeSarif:
+    def test_document_shape(self):
+        result = SarifResult(
+            rule_id="XX001", level="warning", message="hello",
+            uri="src/repro/x.py", start_line=3,
+            properties={"extra": 1},
+        )
+        doc = make_sarif("tool", "9.9.9", [RULE], [result])
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "tool"
+        assert run["tool"]["driver"]["rules"][0]["id"] == "XX001"
+        entry = run["results"][0]
+        assert entry["ruleId"] == "XX001"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert location["region"]["startLine"] == 3
+        assert entry["properties"] == {"extra": 1}
+
+    def test_unknown_rule_id_rejected(self):
+        stray = SarifResult(rule_id="YY999", level="note", message="m")
+        with pytest.raises(ValueError, match="YY999"):
+            make_sarif("tool", "1.0.0", [RULE], [stray])
+
+    def test_dumps_round_trips(self):
+        doc = make_sarif("tool", "1.0.0", [RULE], [])
+        assert json.loads(dumps(doc)) == doc

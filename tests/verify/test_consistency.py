@@ -98,6 +98,44 @@ class TestViolations:
         assert not report.consistent
 
 
+class TestEdgeCases:
+    def test_empty_log_and_media_is_consistent(self):
+        report = check_consistency(EpochLog(), {})
+        assert report.consistent
+        assert report.damaged == set()
+        assert report.survivors == set()
+
+    def test_media_lines_outside_the_log_are_ignored(self):
+        # recovery only adjudicates lines the log knows about; a line
+        # never written during the run carries no ordering obligation.
+        report = check_consistency(EpochLog(), {64: 9})
+        assert report.consistent
+        assert report.unknown_values == []
+
+    def test_single_unflushed_store_is_consistent(self):
+        # one write, nothing durable: the whole run is the lost suffix.
+        log = log_with([(1, 0, 0, 1)])
+        report = check_consistency(log, {})
+        assert report.consistent
+        assert (0, 1) in report.damaged
+        assert report.survivors == set()
+
+    def test_single_flushed_store_is_consistent(self):
+        log = log_with([(1, 0, 0, 1)])
+        report = check_consistency(log, {0: 1})
+        assert report.consistent
+        assert report.damaged == set()
+
+    def test_same_epoch_same_line_older_value_is_a_legal_prefix(self):
+        # epoch persistency orders epochs, not writes within one: the
+        # older same-line value is a legal per-line persist prefix
+        # (contrast test_old_value_resurrection_is_a_violation, where an
+        # epoch boundary between the writes makes it a bug).
+        log = log_with([(1, 0, 0, 1), (2, 0, 0, 1)])
+        report = check_consistency(log, {0: 1})
+        assert report.consistent
+
+
 class TestReporting:
     def test_summary_mentions_counts(self):
         log = log_with([(1, 0, 0, 1), (2, 64, 0, 2)])
