@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the sampled-accuracy golden under ``tests/sample/golden/``.
+
+One pinned document, ``sample_errors.json``: for every gate cell
+(workload, model, sampling config) it records the sampled-vs-full
+relative error of every tracked metric, the geomean, and the achieved
+op-reduction ratio -- all at ``OPS_PER_THREAD`` ops/thread, seed
+``SEED``.  The simulator and the sampling pipeline are deterministic, so
+CI recomputes the same cells and diffs the rounded values exactly
+(``tests/sample/test_golden_gate.py``): any accuracy drift -- better or
+worse -- shows up as a reviewable diff instead of silently moving.
+
+The gate also enforces the headline acceptance bounds (geomean error
+<= 5%, op-reduction >= 10x per cell), so regenerating the golden cannot
+legalize a real regression.
+
+Run it ONLY when a PR intentionally changes simulator timing, workload
+streams, or the sampling method; review the diff before committing.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_sample_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.sample import SampleConfig, validate_sampled  # noqa: E402
+
+GOLDEN_DIR = ROOT / "tests" / "sample" / "golden"
+
+OPS_PER_THREAD = 2000
+SEED = 7
+
+#: the gate cells: one workload per suite category x a spread of
+#: persistency designs.  ``clusters`` overrides are per-cell tuning
+#: (documented in docs/sampling.md).
+GATE_CELLS = (
+    ("cceh", "asap_rp", {"clusters": 10}),
+    ("queue", "baseline", {}),
+    ("nstore", "asap_rp", {}),
+    ("ctree", "hops_rp", {"clusters": 10}),
+    ("echo", "eadr", {}),
+)
+
+
+def cell_doc(workload: str, model: str, overrides: dict) -> dict:
+    report = validate_sampled(
+        workload, model, ops_per_thread=OPS_PER_THREAD, seed=SEED,
+        config=SampleConfig(**overrides),
+    )
+    return {
+        "config": dict(overrides),
+        "errors": {k: round(v, 6) for k, v in sorted(report.errors.items())},
+        "geomean_error": round(report.geomean_error, 6),
+        "ops_ratio": round(report.ops_ratio, 3),
+        "num_intervals": report.num_intervals,
+        "representatives": list(report.representatives),
+    }
+
+
+def main() -> None:
+    doc = {
+        "kind": "sample-error-golden",
+        "ops_per_thread": OPS_PER_THREAD,
+        "seed": SEED,
+        "cells": {
+            f"{wl}/{model}": cell_doc(wl, model, overrides)
+            for wl, model, overrides in GATE_CELLS
+        },
+    }
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    path = GOLDEN_DIR / "sample_errors.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    for name, cell in doc["cells"].items():
+        print(f"  {name}: geomean {cell['geomean_error']:.4f}, "
+              f"{cell['ops_ratio']:.1f}x fewer ops")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,9 +82,12 @@ class BenchResult:
     events: int
     peak_rss_kb: int
     reps: int
+    #: sampled-suite only: geomean relative error of the sampled run vs
+    #: the full run.  None (and omitted from JSON) for exact suites.
+    error: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "name": self.name,
             "suite": self.suite,
             "ops": self.ops,
@@ -94,9 +97,13 @@ class BenchResult:
             "peak_rss_kb": self.peak_rss_kb,
             "reps": self.reps,
         }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        error = data.get("error")
         return cls(
             name=str(data["name"]),
             suite=str(data["suite"]),
@@ -106,6 +113,7 @@ class BenchResult:
             events=int(data.get("events", 0)),
             peak_rss_kb=int(data.get("peak_rss_kb", 0)),
             reps=int(data.get("reps", 1)),
+            error=float(error) if error is not None else None,
         )
 
 

@@ -54,6 +54,16 @@ SMOKE_CELLS: Tuple[Tuple[str, str, int], ...] = (
 MACRO_THREADS = 4
 MACRO_SEED = 7
 
+#: (workload, model, ops_per_thread, SampleConfig overrides) cells of
+#: the sampled suite -- a subset of the accuracy-gate cells
+#: (scripts/gen_sample_golden.py), so the error each record carries is
+#: the same quantity the golden gate bounds at <=5%.
+SAMPLED_CELLS: Tuple[Tuple[str, str, int, Dict[str, int]], ...] = (
+    ("queue", "baseline", 2000, {}),
+    ("nstore", "asap_rp", 2000, {}),
+    ("cceh", "asap_rp", 2000, {"clusters": 10}),
+)
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -118,6 +128,24 @@ def macro_cases(
     return [_macro_case(w, m, ops) for w, m, ops in cells]
 
 
+def _sampled_case(
+    workload: str, model: str, ops: int, overrides: Dict[str, int]
+) -> BenchCase:
+    def run() -> Tuple[int, int]:
+        from repro.sample import SampleConfig, run_sampled
+
+        report = run_sampled(
+            workload, model, ops_per_thread=ops,
+            num_threads=MACRO_THREADS, seed=MACRO_SEED,
+            config=SampleConfig(**overrides),
+        )
+        # full-run-equivalent ops over sampled wall time = effective
+        # throughput; simulated-op count is the determinism fingerprint.
+        return report.ops_total, report.ops_simulated
+
+    return BenchCase(name=f"sampled/{workload}/{model}", run=run)
+
+
 def suite_cases(suite: str) -> List[BenchCase]:
     if suite == "micro":
         return micro_cases()
@@ -127,6 +155,8 @@ def suite_cases(suite: str) -> List[BenchCase]:
         return micro_cases(scale=10) + macro_cases(SMOKE_CELLS)
     if suite == "all":
         return micro_cases() + macro_cases()
+    if suite == "sampled":
+        return [_sampled_case(w, m, ops, o) for w, m, ops, o in SAMPLED_CELLS]
     raise KeyError(f"unknown bench suite: {suite!r} (use {sorted(SUITES)})")
 
 
@@ -136,7 +166,53 @@ SUITES: Dict[str, str] = {
     "macro": "end-to-end workloads under baseline and ASAP",
     "smoke": "scaled-down micro+macro set for the per-PR CI gate",
     "all": "micro + macro",
+    "sampled": "SimPoint-style sampled runs: effective ops/s + accuracy",
 }
+
+
+def run_sampled_case(
+    workload: str,
+    model: str,
+    ops: int,
+    overrides: Dict[str, int],
+    reps: int,
+) -> BenchResult:
+    """One sampled-suite measurement.
+
+    Throughput is *effective*: full-run-equivalent ops over sampled wall
+    time, so a sampled record's ops/s is directly comparable to the
+    macro suite's (the gap between them IS the sampling speedup).  The
+    first rep runs the full simulation alongside (``validate_sampled``)
+    to fill the error column; remaining reps time the sampled run alone.
+    ``events`` is the ops actually simulated -- the determinism
+    fingerprint for --compare.
+    """
+    from repro.sample import SampleConfig, run_sampled, validate_sampled
+
+    cfg = SampleConfig(**overrides)
+    report = validate_sampled(
+        workload, model, ops_per_thread=ops,
+        num_threads=MACRO_THREADS, seed=MACRO_SEED, config=cfg,
+    )
+    best_wall = report.sampled_wall_s
+    for _ in range(max(1, reps) - 1):
+        start = time.perf_counter()
+        run_sampled(
+            workload, model, ops_per_thread=ops,
+            num_threads=MACRO_THREADS, seed=MACRO_SEED, config=cfg,
+        )
+        best_wall = min(best_wall, time.perf_counter() - start)
+    return BenchResult(
+        name=f"sampled/{workload}/{model}",
+        suite="sampled",
+        ops=report.ops_total,
+        wall_s=best_wall,
+        ops_per_sec=report.ops_total / best_wall if best_wall > 0 else 0.0,
+        events=report.ops_simulated,
+        peak_rss_kb=peak_rss_kb(),
+        reps=max(1, reps),
+        error=round(report.geomean_error, 6),
+    )
 
 
 def run_case(case: BenchCase, reps: int) -> BenchResult:
@@ -170,6 +246,14 @@ def run_suite(
 ) -> BenchRecord:
     """Run every case of ``suite`` and assemble the canonical record."""
     results: List[BenchResult] = []
+    if suite == "sampled":
+        # sampled cases produce their own BenchResult (they time the
+        # sampled run, not the validating full run beside it).
+        for workload, model, ops, overrides in SAMPLED_CELLS:
+            result = run_sampled_case(workload, model, ops, overrides, reps)
+            results.append(result)
+            progress(result.name, result)
+        return BenchRecord.build(suite=suite, results=results)
     for case in suite_cases(suite):
         result = run_case(case, reps)
         results.append(result)
@@ -182,11 +266,13 @@ __all__ = [
     "MACRO_CELLS",
     "MACRO_SEED",
     "MACRO_THREADS",
+    "SAMPLED_CELLS",
     "SMOKE_CELLS",
     "SUITES",
     "macro_cases",
     "micro_cases",
     "run_case",
+    "run_sampled_case",
     "run_suite",
     "suite_cases",
 ]

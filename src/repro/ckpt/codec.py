@@ -1,0 +1,89 @@
+"""Versioned canonical-JSON envelope for simulator checkpoints.
+
+Mirrors the crash-state envelope (:mod:`repro.crashtest.serialize`):
+``{"schema": int, "kind": str, "meta": {...}, "state": {...}}`` with
+sorted keys, so byte-identical machine state produces byte-identical
+files.  Readers validate the kind first (a clearer error than a schema
+mismatch when handed the wrong file type), then the schema version, and
+tolerate unknown *extra* top-level or meta fields -- a newer writer may
+add fields without breaking this reader, but a schema-version bump means
+the state layout changed and is rejected outright.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+#: bump when the snapshot layout changes incompatibly.
+CKPT_SCHEMA_VERSION = 1
+CKPT_KIND = "repro-checkpoint"
+
+
+def checkpoint_doc(
+    meta: Dict[str, Any], state: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The envelope document for one checkpoint."""
+    return {
+        "schema": CKPT_SCHEMA_VERSION,
+        "kind": CKPT_KIND,
+        "meta": dict(meta),
+        "state": state,
+    }
+
+
+def dumps_checkpoint(meta: Dict[str, Any], state: Dict[str, Any]) -> str:
+    """Serialize to canonical JSON (sorted keys, stable layout)."""
+    return json.dumps(checkpoint_doc(meta, state), sort_keys=True, indent=1) + "\n"
+
+
+def loads_checkpoint(text: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Parse and validate; returns ``(meta, state)``.
+
+    Raises ValueError with a pointed message on the wrong kind or an
+    unsupported schema version.  Unknown extra fields are ignored.
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError("not a checkpoint document (expected a JSON object)")
+    kind = doc.get("kind")
+    if kind != CKPT_KIND:
+        raise ValueError(
+            f"not a simulator checkpoint (kind={kind!r}, "
+            f"expected {CKPT_KIND!r})"
+        )
+    schema = doc.get("schema")
+    if schema != CKPT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint schema version {schema!r}; this build "
+            f"reads version {CKPT_SCHEMA_VERSION} (re-create the checkpoint "
+            f"with `repro ckpt`)"
+        )
+    meta = doc.get("meta")
+    state = doc.get("state")
+    if not isinstance(meta, dict) or not isinstance(state, dict):
+        raise ValueError("malformed checkpoint: meta/state must be objects")
+    return meta, state
+
+
+def save_checkpoint(
+    path: str, meta: Dict[str, Any], state: Dict[str, Any]
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_checkpoint(meta, state))
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_checkpoint(fh.read())
+
+
+__all__ = [
+    "CKPT_KIND",
+    "CKPT_SCHEMA_VERSION",
+    "checkpoint_doc",
+    "dumps_checkpoint",
+    "load_checkpoint",
+    "loads_checkpoint",
+    "save_checkpoint",
+]

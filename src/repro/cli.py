@@ -22,6 +22,13 @@ workflow:
   axiomatic Px86/PTSO persistency model on a corpus of small litmus
   tests; any operationally-reachable state the axioms forbid is a
   simulator bug (exit 1).
+- ``ckpt``    -- create, inspect, or resume a serializable simulator
+  checkpoint (a canonical-JSON snapshot taken at a quiescent cycle
+  barrier); resuming reproduces the original run byte-for-byte.
+- ``sample``  -- SimPoint-style sampled simulation: fingerprint the op
+  stream, cluster it into phases, simulate only phase representatives,
+  extrapolate full-run statistics; ``--validate`` runs the full
+  simulation alongside and reports per-metric relative error.
 - ``list``    -- enumerate workloads and models.
 
 Model names come from the canonical registry
@@ -235,8 +242,20 @@ def cmd_crashtest(args) -> int:
     from repro.crashtest import replay_failure, run_campaign
     from repro.workloads.registry import SUITE
 
+    if args.from_checkpoint and not args.replay:
+        print("crashtest: --from-checkpoint requires --replay",
+              file=sys.stderr)
+        return 2
     if args.replay:
-        report = replay_failure(args.replay)
+        try:
+            report = replay_failure(
+                args.replay, from_checkpoint=args.from_checkpoint
+            )
+        except ValueError as exc:
+            # e.g. a checkpoint of a different cell, or one whose
+            # quiescent point lands past the saved crash cycle.
+            print(f"crashtest: {exc}", file=sys.stderr)
+            return 2
         verdict = "reproduced" if report["reproduced"] else "NOT reproduced"
         print(f"replay {args.replay}: {verdict}")
         print(f"  workload: {report['workload']}  "
@@ -246,6 +265,21 @@ def cmd_crashtest(args) -> int:
             print(f"  generic: {v}")
         for v in report["oracle_violations"]:
             print(f"  oracle:  {v}")
+        anchored = report.get("anchored")
+        if anchored is not None:
+            averdict = (
+                "reproduced" if anchored["reproduced"] else "NOT reproduced"
+            )
+            print(f"  anchored re-simulation from "
+                  f"{anchored['checkpoint']} (barrier cycle "
+                  f"{anchored['barrier_cycle']}): {averdict}")
+            print(f"    crash cycle: {anchored['crash_cycle']}  "
+                  f"surviving media lines: {anchored['media_lines']}")
+            for v in anchored["generic_violations"]:
+                print(f"    generic: {v}")
+            for v in anchored["oracle_violations"]:
+                print(f"    oracle:  {v}")
+            return 0 if report["reproduced"] and anchored["reproduced"] else 1
         return 0 if report["reproduced"] else 1
 
     if not args.all and not args.workload:
@@ -383,6 +417,115 @@ def cmd_litmus(args) -> int:
     return 0 if gate_ok else 1
 
 
+def cmd_ckpt(args) -> int:
+    import json as _json
+
+    from repro.ckpt.api import (
+        CheckpointCell,
+        create_checkpoint,
+        describe_checkpoint,
+        resume_machine,
+    )
+    from repro.ckpt.codec import dumps_checkpoint, loads_checkpoint
+
+    if args.inspect:
+        with open(args.inspect) as handle:
+            meta, state = loads_checkpoint(handle.read())
+        print(_json.dumps(describe_checkpoint(meta, state), indent=2,
+                          sort_keys=True))
+        return 0
+
+    if args.resume:
+        with open(args.resume) as handle:
+            meta, state = loads_checkpoint(handle.read())
+        machine = resume_machine(meta, state)
+        result = machine.continue_run()
+        print(f"resumed {meta.get('workload')}/{meta.get('model')} from "
+              f"barrier cycle {meta.get('barrier_cycle')}")
+        print(f"  finished at cycle {result.runtime_cycles} "
+              f"({result.ops_executed} ops, "
+              f"{machine.engine.events_executed} events)")
+        return 0
+
+    if not args.workload:
+        print("ckpt: provide a workload name (or --inspect/--resume FILE)",
+              file=sys.stderr)
+        return 2
+    if args.at is None:
+        print("ckpt: --at CYCLE is required to create a checkpoint",
+              file=sys.stderr)
+        return 2
+    cell = CheckpointCell(
+        args.workload, args.model, ops_per_thread=args.ops, seed=args.seed,
+    )
+    made = create_checkpoint(cell, args.at)
+    if made is None:
+        print(f"ckpt: {args.workload}/{args.model} finished before cycle "
+              f"{args.at}; nothing to checkpoint", file=sys.stderr)
+        return 1
+    meta, state, _live = made
+    out = args.out or f"{args.workload}-{args.model}-{args.at}.ckpt.json"
+    with open(out, "w") as handle:
+        handle.write(dumps_checkpoint(meta, state))
+    summary = describe_checkpoint(meta, state)
+    print(f"wrote {out} (quiesced at cycle {summary['quiesced_at']}, "
+          f"{summary['events_executed']} events executed)")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    import json as _json
+
+    from repro.analysis.report import render_table
+    from repro.sample import SampleConfig, run_sampled, validate_sampled
+
+    try:
+        config = SampleConfig(
+            interval_ops=args.interval_ops,
+            clusters=args.clusters,
+            warmup_ops=args.warmup_ops,
+            tail_intervals=args.tail_intervals,
+        )
+    except ValueError as exc:
+        print(f"sample: {exc}", file=sys.stderr)
+        return 2
+    runner = validate_sampled if args.validate else run_sampled
+    report = runner(
+        args.workload, args.model, ops_per_thread=args.ops,
+        num_threads=args.threads, seed=args.seed, config=config,
+        machine_config=_machine_config(args),
+    )
+
+    headers = ["metric", "estimate", "margin"]
+    if args.validate:
+        headers += ["actual-error"]
+    rows = []
+    for name, est in report.estimates.items():
+        row = [name, f"{est.value:,.0f}", f"{est.margin:.1%}"]
+        if args.validate:
+            err = report.errors.get(name)
+            row.append("-" if err is None else f"{err:.2%}")
+        rows.append(row)
+    print(render_table(
+        headers, rows,
+        title=f"sampled {args.workload} on {report.model}: "
+              f"{len(report.representatives)} representatives of "
+              f"{report.num_intervals} intervals "
+              f"({report.ops_simulated}/{report.ops_total} ops simulated, "
+              f"{report.ops_ratio:.1f}x fewer)",
+    ))
+    if args.validate:
+        print(f"geomean error {report.geomean_error:.2%} "
+              f"(sampled {report.sampled_wall_s:.3f}s vs "
+              f"full {report.full_wall_s:.3f}s)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.bench import (
         BenchRecord,
@@ -406,11 +549,15 @@ def cmd_bench(args) -> int:
         return 0 if comparison.ok else 1
 
     def progress(name, result) -> None:
+        extra = ""
+        if result.error is not None:
+            extra = f", geomean error {result.error:.2%}"
         print(f"  {name}: {result.ops_per_sec:,.0f} ops/s "
-              f"({result.wall_s:.3f}s best of {result.reps})")
+              f"({result.wall_s:.3f}s best of {result.reps}{extra})")
 
-    print(f"running bench suite {args.suite!r} ({args.reps} reps per case)")
-    record = run_suite(args.suite, reps=args.reps, progress=progress)
+    suite = "sampled" if args.sampled else args.suite
+    print(f"running bench suite {suite!r} ({args.reps} reps per case)")
+    record = run_suite(suite, reps=args.reps, progress=progress)
     out = args.out or record.default_filename()
     record.save(out)
     print(f"wrote {out} (git {record.git_sha[:12]})")
@@ -548,6 +695,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ct.add_argument("--replay", metavar="FILE",
                       help="re-adjudicate a serialized failing state "
                       "(skips the sweep)")
+    p_ct.add_argument("--from-checkpoint", metavar="CKPT",
+                      help="with --replay: also re-simulate the failure "
+                      "from this checkpoint anchor (repro ckpt output) "
+                      "and re-adjudicate the resimulated state")
     p_ct.add_argument("--threads", type=int, default=4)
     p_ct.add_argument("--mcs", type=int, default=2)
     p_ct.add_argument("--ops", type=int, default=24,
@@ -610,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--suite", choices=sorted(SUITES), default="smoke",
                          help="pinned benchmark suite to run "
                          "(default: smoke)")
+    p_bench.add_argument("--sampled", action="store_true",
+                         help="shorthand for --suite sampled: effective "
+                         "throughput of sampled simulation plus its "
+                         "geomean error column")
     p_bench.add_argument("--reps", type=int, default=3,
                          help="repetitions per case; best wall time wins "
                          "(default: 3)")
@@ -622,6 +777,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed per-bench throughput drop for "
                          "--compare, e.g. '10%%' or '0.1' (default: 10%%)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_ckpt = sub.add_parser(
+        "ckpt",
+        help="create / inspect / resume a serializable checkpoint",
+    )
+    p_ckpt.add_argument("workload", nargs="?",
+                        help="workload to checkpoint (create mode)")
+    p_ckpt.add_argument("--model", choices=_MODEL_CHOICE_NAMES,
+                        default="asap_rp")
+    p_ckpt.add_argument("--at", type=int, metavar="CYCLE",
+                        help="quiescent barrier cycle to checkpoint at")
+    p_ckpt.add_argument("--out", metavar="PATH",
+                        help="checkpoint path (default: "
+                        "<workload>-<model>-<cycle>.ckpt.json)")
+    p_ckpt.add_argument("--inspect", metavar="FILE",
+                        help="print a checkpoint summary and exit")
+    p_ckpt.add_argument("--resume", metavar="FILE",
+                        help="resume a checkpoint and run to completion")
+    p_ckpt.add_argument("--ops", type=int, default=100,
+                        help="operations per thread")
+    p_ckpt.add_argument("--seed", type=int, default=7)
+    p_ckpt.set_defaults(func=cmd_ckpt)
+
+    p_sample = sub.add_parser(
+        "sample",
+        help="SimPoint-style sampled simulation with extrapolated stats",
+    )
+    p_sample.add_argument("workload")
+    p_sample.add_argument("--model", choices=_MODEL_CHOICE_NAMES,
+                          default="asap_rp")
+    p_sample.add_argument("--validate", action="store_true",
+                          help="also run the full simulation and report "
+                          "per-metric relative error")
+    p_sample.add_argument("--interval-ops", type=int, default=75,
+                          metavar="N",
+                          help="ops per fingerprint interval (default: 75)")
+    p_sample.add_argument("--clusters", type=int, default=None, metavar="K",
+                          help="interior phase count (default: adaptive)")
+    p_sample.add_argument("--warmup-ops", type=int, default=25, metavar="N",
+                          help="fully-simulated warm-up ops before each "
+                          "representative (default: 25)")
+    p_sample.add_argument("--tail-intervals", type=int, default=3,
+                          metavar="N",
+                          help="trailing intervals simulated exactly "
+                          "(default: 3)")
+    p_sample.add_argument("--out", metavar="PATH",
+                          help="write the JSON sample report here")
+    common(p_sample)
+    # sampling only pays off on longer streams than the 100-op default.
+    p_sample.set_defaults(func=cmd_sample, ops=2000)
 
     p_crash = sub.add_parser("crash", help="crash a run and check recovery")
     p_crash.add_argument("workload")

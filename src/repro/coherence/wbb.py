@@ -76,5 +76,19 @@ class WriteBackBuffer:
     def holds(self, line: int) -> bool:
         return any(e.line == line for e in self._entries)
 
+    # -- checkpointing -----------------------------------------------------
+
+    def ckpt_state(self) -> Dict[str, object]:
+        """Serialize at a quiescent point (necessarily empty: the persist
+        buffer drained, so every held eviction has been released)."""
+        if self._entries:
+            raise RuntimeError(
+                f"{self.scope}: cannot checkpoint a non-empty WBB"
+            )
+        return {}
+
+    def ckpt_restore(self, state: Dict[str, object]) -> None:
+        pass  # quiescent WBBs are empty.
+
 
 __all__ = ["WBBEntry", "WriteBackBuffer"]

@@ -25,7 +25,6 @@ pair is recorded in the epoch log as a DAG edge.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
@@ -79,6 +78,47 @@ from repro.core.models import (
 from repro.core.recovery_table import RecoveryTable
 from repro.core.vorpal import VorpalCoordinator
 
+class _PauseSentinel:
+    """Singleton a program may yield instead of an op to park its core.
+
+    The sampling pipeline's skip-wrappers yield it at measurement-window
+    boundaries: the wrapper knows exactly where a window ends (it tracks
+    lock depth and fast-forward position op by op), so letting it signal
+    the barrier is race-free where a precomputed executed-op target is
+    not -- the wrapper's dynamic lock deferral can legally shift window
+    edges after the target was computed.  A pause does not count as a
+    retired op.  :meth:`Machine.continue_to_pause` resumes the core
+    after the op that preceded the sentinel."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "PAUSE"
+
+
+PAUSE = _PauseSentinel()
+
+
+class _YieldTurnSentinel:
+    """Singleton a program may yield to round-robin with other cores.
+
+    Costs :attr:`Machine.yield_turn_cycles` cycles (default zero) and no
+    retired op: the core's advance is re-scheduled, behind whatever the
+    other cores
+    have queued.  The sampling pipeline's skip-wrappers yield it between
+    warming chunks so that functional fast-forward interleaves across
+    cores -- warming a core's whole gap in one synchronous burst skews
+    MESI ownership of write-shared lines toward whichever core warmed
+    last, which the measured windows then pay for as spurious misses."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "YIELD_TURN"
+
+
+YIELD_TURN = _YieldTurnSentinel()
+
 #: Fixed issue cost of a store (latency is hidden by the OoO core; what
 #: is *not* hidden -- persist-buffer back-pressure -- is modelled).
 STORE_ISSUE_CYCLES = 1
@@ -111,8 +151,8 @@ class _CoreUnit:
     """Drives one thread program through the event engine."""
 
     __slots__ = ("machine", "index", "program", "finished", "finish_time",
-                 "ops_executed", "_tracer", "_dispatch",
-                 "ofence_counter", "dfence_counter")
+                 "ops_executed", "parked", "park_time", "ops_target",
+                 "_tracer", "_dispatch", "ofence_counter", "dfence_counter")
 
     def __init__(self, machine: "Machine", index: int, program: Program) -> None:
         self.machine = machine
@@ -121,6 +161,14 @@ class _CoreUnit:
         self.finished = False
         self.finish_time: Optional[int] = None
         self.ops_executed = 0
+        #: set by the machine's barrier machinery: park (stop fetching)
+        #: once ``ops_executed`` reaches this count.  -1 parks immediately
+        #: (the cycle-barrier sentinel); None runs unhindered.
+        self.ops_target: Optional[int] = None
+        self.parked = False
+        #: cycle at which the core last parked (straggler-skew-free
+        #: window timing for the sampling pipeline; not serialized).
+        self.park_time: Optional[int] = None
         # Snapshot the hot collaborators: cores are built after the tracer
         # is attached, so `advance` pays one local load instead of two
         # attribute chains per retired op.
@@ -134,12 +182,27 @@ class _CoreUnit:
         self.machine.engine.schedule(0, self.advance)
 
     def advance(self) -> None:
+        target = self.ops_target
+        if target is not None and self.ops_executed >= target:
+            self.machine._park(self)
+            return
         try:
             op = next(self.program)
         except StopIteration:
             self._end()
             return
+        if op is PAUSE:
+            self.machine._park(self)
+            return
+        if op is YIELD_TURN:
+            self.machine.engine.schedule(
+                self.machine.yield_turn_cycles, self.advance
+            )
+            return
         self.ops_executed += 1
+        retire_order = self.machine._retire_order
+        if retire_order is not None:
+            retire_order.append(self.index)
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(
@@ -206,7 +269,7 @@ class Machine:
         )
         self.log = EpochLog()
         self.directory = MESIDirectory(config.num_cores, self.stats)
-        self._write_ids = itertools.count(1)
+        self._next_write_id = 1
         self._locks: Dict[int, _Lock] = {}
         self._noc_cycles = ns_to_cycles(config.noc_latency_ns)
         self._flush_transit_cycles = ns_to_cycles(config.pb_flush_ns)
@@ -216,9 +279,29 @@ class Machine:
         self._lock_cycles = ns_to_cycles(config.lock_access_ns)
         self._mem_read_cycles = ns_to_cycles(config.nvm.read_latency_ns)
         self._inflight_flushes: Dict[int, object] = {}
-        self._flush_seq = itertools.count(1)
+        self._next_flush_seq = 1
         self._cores_running = 0
         self._crashed = False
+        #: indices of parked cores, in parking order -- resuming them in
+        #: this order reproduces the event sequence an uninterrupted
+        #: barrier run would have produced.
+        self._parked_order: List[int] = []
+        #: cycles charged per :data:`YIELD_TURN` (default free).  The
+        #: sampling pipeline sets this nonzero so that warmed gaps
+        #: advance simulated time: events carried over from the previous
+        #: measured window (epoch commits, persist-buffer flush timers)
+        #: then fire mid-gap instead of being frozen until the next
+        #: window and polluting its deltas with phantom stalls.
+        self.yield_turn_cycles = 0
+        #: pause-barrier mode: stop the engine (without draining) the
+        #: moment every core is parked or finished.
+        self._halt_when_parked = False
+        #: global op-retirement order (core index per retired op), recorded
+        #: only in checkpoint mode.  Workload generators may share mutable
+        #: state across threads, so restoring generator-internal state
+        #: requires replaying ``next()`` calls in the original global
+        #: interleaving, not per-core.
+        self._retire_order: Optional[List[int]] = None
 
         hardware = self.run_config.hardware
         self.vorpal = (
@@ -409,7 +492,8 @@ class Machine:
 
     def _make_flush_sender(self, core: int):
         def send(entry) -> None:
-            seq = next(self._flush_seq)
+            seq = self._next_flush_seq
+            self._next_flush_seq = seq + 1
             self._inflight_flushes[seq] = (core, entry)
             packet = FlushPacket(
                 line=entry.line,
@@ -646,7 +730,8 @@ class Machine:
             self.directory.update_writer_epoch(line, index, path.current_ts)
         for victim_core in transition.invalidated:
             self.hierarchies[victim_core].invalidate(line)
-        write_id = next(self._write_ids)
+        write_id = self._next_write_id
+        self._next_write_id = write_id + 1
         self.log.record_write(
             write_id, line, index, path.current_ts, payload=payload
         )
@@ -751,6 +836,348 @@ class Machine:
         self.engine.run(until=crash_cycle, max_events=self.run_config.max_events)
         self._crashed = True
         return self
+
+    # ------------------------------------------------------------------
+    # quiescent barriers + checkpointing
+    # ------------------------------------------------------------------
+    #
+    # An arbitrary-cycle snapshot is impossible to serialize -- the event
+    # queue holds closures.  Instead the machine supports *quiescent
+    # barriers* (gem5's "drain" discipline): run to a target cycle, then
+    # park every core at its next op boundary and let the event queue
+    # drain.  At the quiescent point the dynamic state is empty (persist
+    # buffers, WPQs, recovery tables, NACK filters, write-back buffers,
+    # in-flight flushes) and everything else is plain data that
+    # :meth:`snapshot` can serialize.  ``(run_to_barrier -> snapshot ->
+    # resume -> continue)`` is event-for-event identical to
+    # ``(run_to_barrier -> continue)`` in the same process.
+
+    def run_to_barrier(self, programs: Iterable[Program], cycle: int) -> bool:
+        """Run to ``cycle``, then park + drain to a quiescent point.
+
+        Returns False when the run completed before the barrier (the
+        machine is then finished; call :meth:`continue_run` for the
+        result), True when a quiescent barrier was established."""
+        self._retire_order = []
+        self._start(programs)
+        return self._quiesce_at(cycle)
+
+    def continue_to_barrier(self, cycle: int) -> bool:
+        """Resume parked cores and quiesce again at a later ``cycle``."""
+        self._resume_cores()
+        return self._quiesce_at(cycle)
+
+    def continue_run(self) -> RunResult:
+        """Resume parked cores and run to completion."""
+        self._halt_when_parked = False
+        self._resume_cores()
+        self.engine.run(max_events=self.run_config.max_events)
+        return self._finish_result()
+
+    def continue_until(self, crash_cycle: int) -> "Machine":
+        """Resume parked cores and crash at ``crash_cycle`` (which must
+        not precede the quiescent point)."""
+        if crash_cycle < self.engine.now:
+            raise ValueError(
+                f"crash cycle {crash_cycle} precedes the quiescent point "
+                f"at cycle {self.engine.now}"
+            )
+        self._resume_cores()
+        self.engine.run(until=crash_cycle, max_events=self.run_config.max_events)
+        self._crashed = True
+        return self
+
+    def run_to_pause(self, programs: Iterable[Program]) -> None:
+        """Run until every core parked on :data:`PAUSE` (or finished).
+
+        The engine halts the moment the last core parks -- the event
+        queue is NOT drained.  In-flight persist state (buffer
+        occupancy, pending flushes, open epochs) carries across the
+        boundary exactly as it would mid-run; draining here would empty
+        the persist buffers the warm-up just filled and charge a
+        drain's worth of cycles into every measured window.  Unlike the
+        cycle barrier this also forces no epoch splits."""
+        self._halt_when_parked = True
+        self._start(programs)
+        self.engine.run(max_events=self.run_config.max_events)
+        self._check_paused()
+
+    def continue_to_pause(self) -> None:
+        """Resume parked cores and run to the next pause round."""
+        self._halt_when_parked = True
+        self._resume_cores()
+        self.engine.run(max_events=self.run_config.max_events)
+        self._check_paused()
+
+    def mean_arrival_cycle(self) -> float:
+        """Mean cycle at which cores reached the current pause round.
+
+        ``engine.now`` at a pause is the *last* core's arrival; windows
+        timed with it systematically over-count cycles by the straggler
+        wait, because in an unpaused run the fast cores would overlap
+        into the next interval instead of idling at the barrier.  The
+        per-core arrival mean removes that skew, and mean-deltas still
+        telescope to the mean completion time over a full run."""
+        times = [
+            core.park_time if core.parked else core.finish_time
+            for core in self.cores
+        ]
+        known = [t for t in times if t is not None]
+        if not known:
+            return float(self.engine.now)
+        return sum(known) / len(known)
+
+    def _check_paused(self) -> None:
+        stuck = [
+            core.index for core in self.cores
+            if not core.finished and not core.parked
+        ]
+        if stuck:
+            raise RuntimeError(
+                f"cores {stuck} neither finished nor parked after the "
+                "event queue drained -- a program stopped yielding "
+                "without a PAUSE (deadlocked lock waiter?)"
+            )
+
+    def _quiesce_at(self, cycle: int) -> bool:
+        if cycle < self.engine.now:
+            raise ValueError(
+                f"barrier cycle {cycle} precedes current cycle "
+                f"{self.engine.now}"
+            )
+        self.engine.run(until=cycle, max_events=self.run_config.max_events)
+        if self._cores_running == 0 and self.engine.pending() == 0:
+            return False  # finished before the barrier
+        self._begin_parking()
+        self._drain_to_quiesce()
+        return True
+
+    def _begin_parking(self) -> None:
+        # Park every unfinished core at its next op boundary, and close
+        # its current epoch so the drain can commit it.  (An op already
+        # in flight -- e.g. a multi-line store mid-walk -- finishes into
+        # the post-split epoch; the split is a deterministic ordering
+        # strengthening, identical on both sides of a snapshot/resume
+        # comparison.)
+        for core in self.cores:
+            if not core.finished:
+                core.ops_target = -1
+        for core in self.cores:
+            if not core.finished:
+                self.paths[core.index].split_epoch()
+
+    def _park(self, core: _CoreUnit) -> None:
+        core.parked = True
+        core.park_time = self.engine.now
+        self._parked_order.append(core.index)
+        if self._halt_when_parked and all(
+            c.parked or c.finished for c in self.cores
+        ):
+            self.engine.stop("all cores parked")
+
+    def _resume_cores(self) -> None:
+        order, self._parked_order = self._parked_order, []
+        for core in self.cores:
+            core.ops_target = None
+            core.parked = False
+        for index in order:
+            self.engine.schedule(0, self.cores[index].advance)
+
+    def _drain_to_quiesce(self) -> None:
+        max_events = self.run_config.max_events
+        self.engine.run(max_events=max_events)
+        # Writes that landed in a post-split open epoch (in-flight op
+        # continuations) can leave undo records guarded by an epoch that
+        # never closes; split again until the recovery tables are clear.
+        for _ in range(8):
+            if not self._needs_commit_round():
+                return
+            for core in self.cores:
+                if not core.finished:
+                    self.paths[core.index].split_epoch()
+            self.engine.run(max_events=max_events)
+        raise RuntimeError("machine failed to quiesce")
+
+    def _needs_commit_round(self) -> bool:
+        for rt in self.recovery_tables:
+            if rt is not None and len(rt):
+                return True
+        return any(not path.is_drained() for path in self.paths)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serialize the machine at a quiescent barrier.
+
+        Returns a JSON-able dict; see :mod:`repro.ckpt` for the versioned
+        file envelope built around it."""
+        if self.engine.pending():
+            raise RuntimeError("cannot snapshot with pending events")
+        if self._inflight_flushes:
+            raise RuntimeError("cannot snapshot with in-flight flushes")
+        if self._crashed:
+            raise RuntimeError("cannot snapshot a crashed machine")
+        if not self.cores:
+            raise RuntimeError("cannot snapshot before running")
+        if self._retire_order is None:
+            raise RuntimeError(
+                "machine was not run in checkpoint mode "
+                "(use run_to_barrier)"
+            )
+        for core in self.cores:
+            if core.finished or core.parked:
+                continue
+            if not any(core in lock.waiters for lock in self._locks.values()):
+                raise RuntimeError(
+                    f"core {core.index} neither parked nor lock-blocked"
+                )
+        from repro.crashtest.serialize import log_to_dict
+
+        return {
+            "engine": self.engine.ckpt_state(),
+            "stats": self.stats.ckpt_state(),
+            "log": log_to_dict(self.log),
+            "directory": self.directory.ckpt_state(),
+            "llc": self.llc.ckpt_state(),
+            "hierarchies": [
+                {"l1": h.l1.ckpt_state(), "l2": h.l2.ckpt_state()}
+                for h in self.hierarchies
+            ],
+            "wbbs": [wbb.ckpt_state() for wbb in self.wbbs],
+            "paths": [path.ckpt_state() for path in self.paths],
+            "global_ts": self.global_ts.ckpt_state(),
+            "vorpal": (
+                self.vorpal.ckpt_state() if self.vorpal is not None else None
+            ),
+            "mcs": [mc.ckpt_state() for mc in self.mcs],
+            "recovery_tables": [
+                rt.ckpt_state() if rt is not None else None
+                for rt in self.recovery_tables
+            ],
+            "blooms": [
+                mc.bloom_filter.ckpt_state()
+                if mc.bloom_filter is not None
+                else None
+                for mc in self.mcs
+            ],
+            "cores": [
+                {
+                    "index": c.index,
+                    "ops_executed": c.ops_executed,
+                    "finished": c.finished,
+                    "finish_time": c.finish_time,
+                    "parked": c.parked,
+                }
+                for c in self.cores
+            ],
+            "locks": [
+                [
+                    lock_id,
+                    lock.holder,
+                    [w.index for w in lock.waiters],
+                    list(lock.last_release) if lock.last_release else None,
+                ]
+                for lock_id, lock in self._locks.items()
+            ],
+            "next_write_id": self._next_write_id,
+            "next_flush_seq": self._next_flush_seq,
+            "parked_order": list(self._parked_order),
+            "cores_running": self._cores_running,
+            "retire_order": list(self._retire_order),
+        }
+
+    @classmethod
+    def resume(
+        cls,
+        config: MachineConfig,
+        run_config: RunConfig,
+        programs: Iterable[Program],
+        state: Dict[str, object],
+        sinks: Optional[Iterable[object]] = None,
+    ) -> "Machine":
+        """Rebuild a machine from :meth:`snapshot` output.
+
+        ``programs`` must be freshly built generators identical to the
+        originals.  They are fast-forwarded (without dispatching) by
+        replaying ``next()`` calls in the checkpoint's recorded global
+        retirement order, which reproduces all generator-internal state
+        -- per-thread PRNGs *and* mutable state shared across thread
+        generators -- exactly."""
+        machine = cls(config, run_config=run_config, sinks=sinks)
+        machine._restore(programs, state)
+        return machine
+
+    def _restore(self, programs: Iterable[Program], state: Dict[str, object]) -> None:
+        if self.cores:
+            raise RuntimeError("machine already ran; build a fresh one")
+        from repro.crashtest.serialize import log_from_dict
+
+        self.stats.ckpt_restore(state["stats"])  # type: ignore[arg-type]
+        self.engine.ckpt_restore(state["engine"])  # type: ignore[arg-type]
+        self.log = log_from_dict(state["log"])  # type: ignore[arg-type]
+        self.directory.ckpt_restore(state["directory"])  # type: ignore[arg-type]
+        self.llc.ckpt_restore(state["llc"])  # type: ignore[arg-type]
+        for hier_state, hierarchy in zip(state["hierarchies"], self.hierarchies):  # type: ignore[arg-type]
+            hierarchy.l1.ckpt_restore(hier_state["l1"])
+            hierarchy.l2.ckpt_restore(hier_state["l2"])
+        for wbb_state, wbb in zip(state["wbbs"], self.wbbs):  # type: ignore[arg-type]
+            wbb.ckpt_restore(wbb_state)
+        for path_state, path in zip(state["paths"], self.paths):  # type: ignore[arg-type]
+            path.ckpt_restore(path_state)
+        self.global_ts.ckpt_restore(state["global_ts"])  # type: ignore[arg-type]
+        if self.vorpal is not None:
+            self.vorpal.ckpt_restore(state["vorpal"])  # type: ignore[arg-type]
+        for mc_state, mc in zip(state["mcs"], self.mcs):  # type: ignore[arg-type]
+            mc.ckpt_restore(mc_state)
+        for rt_state, rt in zip(state["recovery_tables"], self.recovery_tables):  # type: ignore[arg-type]
+            if rt is not None and rt_state is not None:
+                rt.ckpt_restore(rt_state)
+        for bloom_state, mc in zip(state["blooms"], self.mcs):  # type: ignore[arg-type]
+            if mc.bloom_filter is not None and bloom_state is not None:
+                mc.bloom_filter.ckpt_restore(bloom_state)
+        programs = list(programs)
+        core_states = state["cores"]
+        if len(programs) != len(core_states):  # type: ignore[arg-type]
+            raise ValueError(
+                f"{len(programs)} programs for {len(core_states)} "  # type: ignore[arg-type]
+                f"checkpointed cores"
+            )
+        for core_state, program in zip(core_states, programs):  # type: ignore[arg-type]
+            core = _CoreUnit(self, int(core_state["index"]), program)
+            core.ops_executed = int(core_state["ops_executed"])
+            core.finished = bool(core_state["finished"])
+            finish_time = core_state["finish_time"]
+            core.finish_time = (
+                int(finish_time) if finish_time is not None else None
+            )
+            core.parked = bool(core_state["parked"])
+            self.cores.append(core)
+        retire_order = [int(i) for i in state["retire_order"]]  # type: ignore[union-attr]
+        replayed = [0] * len(self.cores)
+        for index in retire_order:
+            next(self.cores[index].program)
+            replayed[index] += 1
+        mismatched = [
+            c.index for c in self.cores if replayed[c.index] != c.ops_executed
+        ]
+        if mismatched:
+            raise ValueError(
+                f"retirement order inconsistent with per-core op counts "
+                f"for cores {mismatched}"
+            )
+        self._retire_order = retire_order
+        for lock_id, holder, waiters, last_release in state["locks"]:  # type: ignore[union-attr]
+            self._locks[int(lock_id)] = _Lock(
+                holder=int(holder) if holder is not None else None,
+                waiters=[self.cores[int(i)] for i in waiters],
+                last_release=(
+                    (int(last_release[0]), int(last_release[1]))
+                    if last_release is not None
+                    else None
+                ),
+            )
+        self._next_write_id = int(state["next_write_id"])  # type: ignore[arg-type]
+        self._next_flush_seq = int(state["next_flush_seq"])  # type: ignore[arg-type]
+        self._parked_order = [int(i) for i in state["parked_order"]]  # type: ignore[union-attr]
+        self._cores_running = int(state["cores_running"])  # type: ignore[arg-type]
 
     def _start(self, programs: Iterable[Program]) -> None:
         if self.cores:

@@ -127,6 +127,45 @@ class CrashPointSpec:
             self.crash_cycle if crash_cycle is None else crash_cycle,
         )
 
+    def simulate_from_checkpoint(
+        self,
+        ckpt_meta: dict,
+        ckpt_state: dict,
+        crash_cycle: Optional[int] = None,
+    ) -> CrashState:
+        """Resume a checkpoint of this cell and crash past it.
+
+        The fast-forward anchor for dense crash sweeps: checkpoint once
+        at a quiescent barrier, then re-simulate only ``[barrier,
+        crash_cycle]`` per point instead of the whole prefix.  The
+        anchored trajectory is event-for-event identical to a cold run
+        that passed through the *same* barrier (the equivalence the
+        ``tests/ckpt`` suite pins); note the barrier itself drains the
+        machine, so it is a different -- equally valid -- trajectory
+        from a barrier-free cold run.
+        """
+        from repro.ckpt.api import CheckpointCell, resume_machine
+        from repro.core.crash import crash_machine
+
+        cell = CheckpointCell.from_meta(ckpt_meta)
+        if (
+            cell.workload != self.workload
+            or resolve_model(cell.model).name != self.model.name
+            or cell.seed != self.seed
+            or cell.ops_per_thread != self.ops_per_thread
+        ):
+            raise ValueError(
+                f"checkpoint is for {cell.workload}/{cell.model}"
+                f"/ops={cell.ops_per_thread}/seed={cell.seed}, not "
+                f"{self.workload}/{self.model.name}"
+                f"/ops={self.ops_per_thread}/seed={self.seed}"
+            )
+        machine = resume_machine(ckpt_meta, ckpt_state)
+        machine.continue_until(
+            self.crash_cycle if crash_cycle is None else crash_cycle
+        )
+        return crash_machine(machine)
+
     # -- identity (cache contract, mirrors exp.RunSpec) ---------------------
 
     def describe(self) -> dict:
@@ -479,8 +518,14 @@ def _save_failure(
 # replay
 # ---------------------------------------------------------------------------
 
-def replay_failure(path: str) -> dict:
-    """Re-adjudicate a serialized failing state without re-simulating."""
+def replay_failure(path: str, from_checkpoint: Optional[str] = None) -> dict:
+    """Re-adjudicate a serialized failing state without re-simulating.
+
+    With ``from_checkpoint`` (a path to a ``repro ckpt`` document of the
+    same cell) the failure is additionally *re-simulated* from that
+    checkpoint anchor -- resume, continue to the crash cycle, crash,
+    adjudicate -- and the anchored verdict is reported alongside.
+    """
     from repro.crashtest.serialize import load_state
 
     state, meta = load_state(path)
@@ -492,7 +537,7 @@ def replay_failure(path: str) -> dict:
         seed=spec_doc.get("seed", 7),
     )
     generic, oracle = adjudicate(state, workload)
-    return {
+    doc = {
         "file": path,
         "workload": name,
         "crash_cycle": state.crash_cycle,
@@ -500,6 +545,47 @@ def replay_failure(path: str) -> dict:
         "generic_violations": generic,
         "oracle_violations": oracle,
         "recorded_violations": meta.get("violations", []),
+        "reproduced": bool(generic or oracle),
+    }
+    if from_checkpoint is not None:
+        doc["anchored"] = _replay_anchored(
+            from_checkpoint, spec_doc, state, workload
+        )
+    return doc
+
+
+def _replay_anchored(
+    ckpt_path: str, spec_doc: dict, state: CrashState, workload: Workload
+) -> dict:
+    """Re-simulate a saved failure from a checkpoint anchor."""
+    from repro.ckpt.api import CheckpointCell
+    from repro.ckpt.codec import loads_checkpoint
+
+    with open(ckpt_path) as handle:
+        ckpt_meta, ckpt_state = loads_checkpoint(handle.read())
+    cell = CheckpointCell.from_meta(ckpt_meta)
+    if cell.workload != spec_doc.get("workload"):
+        raise ValueError(
+            f"checkpoint is for workload {cell.workload!r}, failure is "
+            f"for {spec_doc.get('workload')!r}"
+        )
+    spec = CrashPointSpec(
+        workload=cell.workload,
+        model=cell.model,
+        crash_cycle=state.crash_cycle,
+        ops_per_thread=cell.ops_per_thread,
+        num_threads=cell.num_threads,
+        seed=cell.seed,
+    )
+    resim = spec.simulate_from_checkpoint(ckpt_meta, ckpt_state)
+    generic, oracle = adjudicate(resim, workload)
+    return {
+        "checkpoint": ckpt_path,
+        "barrier_cycle": ckpt_meta.get("barrier_cycle"),
+        "crash_cycle": resim.crash_cycle,
+        "media_lines": len(resim.media),
+        "generic_violations": generic,
+        "oracle_violations": oracle,
         "reproduced": bool(generic or oracle),
     }
 

@@ -1,0 +1,48 @@
+"""SimPoint-style sampled simulation.
+
+Full-detail simulation of every op is the honest default, but most
+workloads are phase-structured: long stretches of the op stream exercise
+the persistence path identically.  Sampling exploits that (Sherwood et
+al.'s SimPoint, adapted to op streams instead of basic-block vectors):
+
+1. **fingerprint** the op stream into fixed-size per-thread intervals,
+   each summarized by a feature vector (op-kind mix, epoch shape, fence
+   mix, line reuse) -- no simulation, just a dry expansion of the
+   workload generators (:mod:`repro.sample.fingerprint`);
+2. **cluster** the interval vectors with deterministic k-means and pick
+   the interval closest to each centroid as the phase representative
+   (:mod:`repro.sample.phases`);
+3. **simulate** only the representatives (plus a configurable warm-up
+   prefix), fast-forwarding the op stream between them, and measure
+   per-interval statistics deltas at quiescent ops barriers
+   (:mod:`repro.sample.pipeline`);
+4. **extrapolate** full-run statistics as the cluster-population-weighted
+   sum of representative deltas, with dispersion-based confidence
+   bounds.
+
+Accuracy is not assumed: ``repro sample --validate`` (and the pinned
+golden gate in ``tests/sample/``) runs the full simulation next to the
+sampled one and reports per-metric relative error.
+"""
+
+from repro.sample.fingerprint import FEATURE_NAMES, fingerprint_intervals
+from repro.sample.phases import PhasePlan, cluster_intervals
+from repro.sample.pipeline import (
+    SampleConfig,
+    SampleEstimate,
+    SampleReport,
+    run_sampled,
+    validate_sampled,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PhasePlan",
+    "SampleConfig",
+    "SampleEstimate",
+    "SampleReport",
+    "cluster_intervals",
+    "fingerprint_intervals",
+    "run_sampled",
+    "validate_sampled",
+]

@@ -1,0 +1,122 @@
+"""Checkpoint-anchored crash simulation equivalence.
+
+The fast-forward contract used by dense crash sweeps: crashing a run
+that was resumed from a checkpoint must produce *exactly* the crash
+state of continuing the live machine past the same barrier -- identical
+surviving media, identical epoch log, byte-identical ``dumps_state``
+output.  (A barrier-free cold run is a different, equally valid
+trajectory: the quiescent barrier itself drains the machine, so the
+comparison baseline is always "cold through the same barrier".)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ckpt.api import CheckpointCell, create_checkpoint, resume_machine
+from repro.ckpt.codec import dumps_checkpoint, loads_checkpoint
+from repro.core.crash import crash_machine
+from repro.crashtest.campaign import CrashPointSpec, replay_failure
+from repro.crashtest.serialize import dumps_state, save_state
+
+pytestmark = pytest.mark.ckpt
+
+CELL = CheckpointCell("queue", "asap_rp", ops_per_thread=200)
+BARRIER = 1200
+CRASH = 2600
+
+
+def _anchored_pair(cell, barrier, crash_cycle):
+    """(live-continued crash bytes, resumed crash bytes, meta, state)."""
+    made = create_checkpoint(cell, barrier)
+    assert made is not None, "barrier landed after the run ended"
+    meta, state, live = made
+    blob = dumps_checkpoint(meta, state)
+
+    live.continue_until(crash_cycle)
+    bytes_a = dumps_state(crash_machine(live), {})
+
+    meta2, state2 = loads_checkpoint(blob)
+    resumed = resume_machine(meta2, state2)
+    resumed.continue_until(crash_cycle)
+    bytes_b = dumps_state(crash_machine(resumed), {})
+    return bytes_a, bytes_b, meta, state
+
+
+def test_anchored_crash_is_byte_identical():
+    bytes_a, bytes_b, _meta, _state = _anchored_pair(CELL, BARRIER, CRASH)
+    assert bytes_a == bytes_b
+
+
+@pytest.mark.parametrize("model", ("baseline", "hops_rp", "eadr"))
+def test_anchored_crash_across_models(model):
+    cell = CheckpointCell("ctree", model, ops_per_thread=150)
+    bytes_a, bytes_b, _meta, _state = _anchored_pair(cell, 1000, 2200)
+    assert bytes_a == bytes_b
+
+
+def test_spec_simulate_from_checkpoint_matches_live():
+    """CrashPointSpec.simulate_from_checkpoint == continuing the live
+    machine -- the API the campaign/CLI layers actually call."""
+    made = create_checkpoint(CELL, BARRIER)
+    assert made is not None
+    meta, state, live = made
+    spec = CrashPointSpec(
+        CELL.workload, CELL.model, crash_cycle=CRASH,
+        ops_per_thread=CELL.ops_per_thread, seed=CELL.seed,
+    )
+    anchored = spec.simulate_from_checkpoint(meta, state)
+
+    live.continue_until(CRASH)
+    reference = crash_machine(live)
+    assert dumps_state(anchored, {}) == dumps_state(reference, {})
+    assert anchored.crash_cycle == CRASH
+
+
+def test_simulate_from_checkpoint_rejects_foreign_cell():
+    made = create_checkpoint(CELL, BARRIER)
+    assert made is not None
+    meta, state, _live = made
+    for wrong in (
+        CrashPointSpec("ctree", "asap_rp", CRASH,
+                       ops_per_thread=CELL.ops_per_thread),
+        CrashPointSpec("queue", "hops_rp", CRASH,
+                       ops_per_thread=CELL.ops_per_thread),
+        CrashPointSpec("queue", "asap_rp", CRASH, ops_per_thread=999),
+        CrashPointSpec("queue", "asap_rp", CRASH,
+                       ops_per_thread=CELL.ops_per_thread, seed=99),
+    ):
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            wrong.simulate_from_checkpoint(meta, state)
+
+
+def test_replay_failure_from_checkpoint(tmp_path):
+    """End-to-end: a saved crash state re-adjudicated AND re-simulated
+    from a checkpoint anchor yields the same verdict and crash image."""
+    made = create_checkpoint(CELL, BARRIER)
+    assert made is not None
+    meta, state, live = made
+    ckpt_path = tmp_path / "anchor.ckpt.json"
+    ckpt_path.write_text(dumps_checkpoint(meta, state))
+
+    spec = CrashPointSpec(
+        CELL.workload, CELL.model, crash_cycle=CRASH,
+        ops_per_thread=CELL.ops_per_thread, seed=CELL.seed,
+    )
+    live.continue_until(CRASH)
+    crashed = crash_machine(live)
+    failure_path = tmp_path / "failure.json"
+    save_state(str(failure_path), crashed,
+               {"spec": spec.describe(), "violations": []})
+
+    doc = replay_failure(str(failure_path), from_checkpoint=str(ckpt_path))
+    anchored = doc["anchored"]
+    assert anchored["crash_cycle"] == doc["crash_cycle"] == CRASH
+    assert anchored["barrier_cycle"] == BARRIER
+    assert anchored["media_lines"] == doc["media_lines"]
+    assert anchored["generic_violations"] == doc["generic_violations"]
+    assert anchored["oracle_violations"] == doc["oracle_violations"]
+    assert anchored["reproduced"] == doc["reproduced"]
+    json.dumps(doc)  # the whole report must stay JSON-serializable

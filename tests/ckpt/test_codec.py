@@ -1,0 +1,73 @@
+"""Checkpoint envelope: round-trip, forward compatibility, rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ckpt.codec import (
+    CKPT_KIND,
+    CKPT_SCHEMA_VERSION,
+    dumps_checkpoint,
+    loads_checkpoint,
+)
+
+pytestmark = pytest.mark.ckpt
+
+META = {"workload": "queue", "model": "asap_rp", "seed": 7,
+        "ops_per_thread": 100, "num_threads": None, "barrier_cycle": 500}
+STATE = {"engine": {"now": 500, "events_executed": 123}, "cores": []}
+
+
+def test_round_trip():
+    meta, state = loads_checkpoint(dumps_checkpoint(META, STATE))
+    assert meta == META
+    assert state == STATE
+
+
+def test_canonical_bytes():
+    assert dumps_checkpoint(META, STATE) == dumps_checkpoint(META, STATE)
+    # key order of the input dicts must not leak into the bytes
+    shuffled = dict(reversed(list(META.items())))
+    assert dumps_checkpoint(shuffled, STATE) == dumps_checkpoint(META, STATE)
+
+
+def test_unknown_extra_fields_tolerated():
+    """A newer writer may add top-level or meta fields; this reader
+    must ignore them rather than refuse the file."""
+    doc = json.loads(dumps_checkpoint(META, STATE))
+    doc["written_by"] = "repro 9.9"
+    doc["meta"]["comment"] = "future field"
+    meta, state = loads_checkpoint(json.dumps(doc))
+    assert meta["workload"] == "queue"
+    assert meta["comment"] == "future field"
+    assert state == STATE
+
+
+def test_schema_version_bump_rejected():
+    doc = json.loads(dumps_checkpoint(META, STATE))
+    doc["schema"] = CKPT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema version"):
+        loads_checkpoint(json.dumps(doc))
+
+
+def test_wrong_kind_rejected_with_pointed_error():
+    doc = json.loads(dumps_checkpoint(META, STATE))
+    doc["kind"] = "repro-crash-state"
+    with pytest.raises(ValueError, match="not a simulator checkpoint"):
+        loads_checkpoint(json.dumps(doc))
+    assert CKPT_KIND == "repro-checkpoint"
+
+
+@pytest.mark.parametrize("text", ["[]", "42", '"x"'])
+def test_non_object_rejected(text):
+    with pytest.raises(ValueError, match="JSON object"):
+        loads_checkpoint(text)
+
+
+def test_malformed_meta_state_rejected():
+    doc = json.loads(dumps_checkpoint(META, STATE))
+    doc["state"] = "oops"
+    with pytest.raises(ValueError, match="meta/state"):
+        loads_checkpoint(json.dumps(doc))

@@ -1,0 +1,123 @@
+"""Checkpoint equivalence: resume must be observationally invisible.
+
+The contract under test: take a run to a quiescent barrier, then either
+(A) continue the live machine, or (B) serialize the snapshot to the
+canonical-JSON envelope, parse it back, rebuild a machine from scratch
+(regenerated programs fast-forwarded by executed-op counts) and continue
+that.  Both halves must produce the *same run*: identical stats,
+identical NVM media, identical epoch log, identical event count --
+compared via :func:`repro.ckpt.api.run_fingerprint`, a digest of all of
+it.  Any divergence means snapshot() missed a piece of machine state.
+
+The property suite draws random (workload, model, ops, barrier) cells so
+the checked surface grows over time instead of fossilizing around a few
+hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ckpt.api import (
+    CheckpointCell,
+    create_checkpoint,
+    resume_machine,
+    run_fingerprint,
+)
+from repro.ckpt.codec import dumps_checkpoint, loads_checkpoint
+
+pytestmark = pytest.mark.ckpt
+
+#: every persistency design with distinct machine state (persist
+#: buffers, epoch tables, bloom filters, eADR write-back buffers).
+RP_MODEL_NAMES = ("baseline", "hops_rp", "asap_rp", "eadr")
+
+WORKLOADS = ("queue", "ctree", "cceh", "echo", "nstore")
+
+
+def _ab_fingerprints(cell: CheckpointCell, barrier_cycle: int):
+    """Returns (live-continue, resumed-continue) fingerprints or None."""
+    made = create_checkpoint(cell, barrier_cycle)
+    if made is None:  # run finished before the barrier -- nothing to test
+        return None
+    meta, state, live = made
+    blob = dumps_checkpoint(meta, state)
+
+    result_a = live.continue_run()
+    fp_a = run_fingerprint(live, result_a)
+
+    meta2, state2 = loads_checkpoint(blob)
+    resumed = resume_machine(meta2, state2)
+    result_b = resumed.continue_run()
+    fp_b = run_fingerprint(resumed, result_b)
+    return fp_a, fp_b
+
+
+@pytest.mark.parametrize("model", RP_MODEL_NAMES)
+def test_snapshot_resume_identity_per_model(model):
+    """barrier -> snapshot -> restore -> continue is byte-identical."""
+    cell = CheckpointCell("queue", model, ops_per_thread=200)
+    pair = _ab_fingerprints(cell, barrier_cycle=1500)
+    assert pair is not None, "barrier landed after the run ended"
+    assert pair[0] == pair[1]
+
+
+def test_property_random_cells():
+    """Random (workload, model, ops, barrier) triples all round-trip."""
+    rng = random.Random(0xA5A9)
+    checked = 0
+    for _ in range(10):
+        cell = CheckpointCell(
+            rng.choice(WORKLOADS),
+            rng.choice(RP_MODEL_NAMES),
+            ops_per_thread=rng.choice((120, 200, 320)),
+            seed=rng.choice((7, 11)),
+        )
+        pair = _ab_fingerprints(cell, barrier_cycle=rng.randrange(400, 4000))
+        if pair is None:
+            continue
+        checked += 1
+        assert pair[0] == pair[1], f"divergence in {cell}"
+    # the barrier may fall after short runs end; most draws must count.
+    assert checked >= 6
+
+
+def test_snapshot_is_canonical():
+    """Same barrier -> byte-identical serialized checkpoint."""
+    blobs = []
+    for _ in range(2):
+        made = create_checkpoint(
+            CheckpointCell("ctree", "asap_rp", ops_per_thread=150), 1200
+        )
+        assert made is not None
+        meta, state, _live = made
+        blobs.append(dumps_checkpoint(meta, state))
+    assert blobs[0] == blobs[1]
+
+
+def test_mid_run_snapshot_preserves_locks():
+    """Barriers inside lock-heavy regions still round-trip (the lock
+    table, waiter queues and retire order are all part of the state)."""
+    cell = CheckpointCell("queue", "asap_rp", ops_per_thread=260, seed=11)
+    pair = _ab_fingerprints(cell, barrier_cycle=900)
+    assert pair is not None
+    assert pair[0] == pair[1]
+
+
+@pytest.mark.slow
+def test_property_random_cells_deep():
+    """Wider random sweep (opt-in: -m slow)."""
+    rng = random.Random(0xC0FFEE)
+    for _ in range(40):
+        cell = CheckpointCell(
+            rng.choice(WORKLOADS),
+            rng.choice(RP_MODEL_NAMES),
+            ops_per_thread=rng.choice((200, 400, 800)),
+            seed=rng.choice((3, 7, 13)),
+        )
+        pair = _ab_fingerprints(cell, barrier_cycle=rng.randrange(500, 12000))
+        if pair is None:
+            continue
+        assert pair[0] == pair[1], f"divergence in {cell}"

@@ -1,0 +1,79 @@
+"""Sampled-accuracy golden gate (the blocking CI job).
+
+Recomputes every gate cell -- sampled run AND full run -- and checks:
+
+1. the headline acceptance bounds hold: per-cell geomean relative error
+   <= 5% and op-reduction ratio >= 10x;
+2. the rounded per-metric errors match ``golden/sample_errors.json``
+   byte-for-byte, so *any* accuracy drift (improvement or regression)
+   surfaces as a reviewable golden diff.
+
+Regenerate the golden with ``PYTHONPATH=src python
+scripts/gen_sample_golden.py`` only when a PR intentionally changes
+simulator timing, workload streams, or the sampling method.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sample import SampleConfig, validate_sampled
+
+pytestmark = pytest.mark.sampled
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "sample_errors.json"
+
+MAX_GEOMEAN_ERROR = 0.05
+MIN_OPS_RATIO = 10.0
+
+
+def _golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _cells():
+    doc = _golden()
+    return [
+        (name, cell, doc["ops_per_thread"], doc["seed"])
+        for name, cell in sorted(doc["cells"].items())
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,cell,ops,seed", _cells(), ids=[c[0] for c in _cells()]
+)
+def test_gate_cell(name, cell, ops, seed):
+    workload, model = name.split("/")
+    report = validate_sampled(
+        workload, model, ops_per_thread=ops, seed=seed,
+        config=SampleConfig(**cell["config"]),
+    )
+    # headline acceptance bounds -- these hold regardless of the golden,
+    # so regenerating the golden cannot legalize a regression.
+    assert report.geomean_error <= MAX_GEOMEAN_ERROR, (
+        f"{name}: geomean error {report.geomean_error:.4f} exceeds "
+        f"{MAX_GEOMEAN_ERROR:.0%}"
+    )
+    assert report.ops_ratio >= MIN_OPS_RATIO, (
+        f"{name}: op-reduction {report.ops_ratio:.1f}x below "
+        f"{MIN_OPS_RATIO:.0f}x"
+    )
+    # exact drift detection against the pinned golden.
+    assert {k: round(v, 6) for k, v in sorted(report.errors.items())} \
+        == cell["errors"]
+    assert round(report.geomean_error, 6) == cell["geomean_error"]
+    assert round(report.ops_ratio, 3) == cell["ops_ratio"]
+    assert report.num_intervals == cell["num_intervals"]
+    assert list(report.representatives) == cell["representatives"]
+
+
+def test_golden_covers_acceptance_matrix():
+    """The gate set spans multiple workloads AND multiple designs."""
+    doc = _golden()
+    workloads = {name.split("/")[0] for name in doc["cells"]}
+    models = {name.split("/")[1] for name in doc["cells"]}
+    assert len(workloads) >= 4
+    assert len(models) >= 3

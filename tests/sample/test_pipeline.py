@@ -1,0 +1,87 @@
+"""Fast unit coverage of the sampling pipeline's pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sample import (
+    FEATURE_NAMES,
+    SampleConfig,
+    cluster_intervals,
+    fingerprint_intervals,
+    run_sampled,
+)
+from repro.sample.pipeline import _merge_segments
+
+pytestmark = pytest.mark.sampled
+
+
+def test_fingerprint_shape_and_determinism():
+    a = fingerprint_intervals("queue", 50, ops_per_thread=400)
+    b = fingerprint_intervals("queue", 50, ops_per_thread=400)
+    assert a.vectors == b.vectors
+    assert a.thread_ops == b.thread_ops
+    assert all(len(v) == len(FEATURE_NAMES) for v in a.vectors)
+    assert a.num_intervals >= 4
+
+
+def test_fingerprint_novelty_decays():
+    """First-touch density is highest at the start of the run."""
+    iv = fingerprint_intervals("ctree", 75, ops_per_thread=1000)
+    novelty = FEATURE_NAMES.index("novelty")
+    first = iv.vectors[0][novelty]
+    steady = sum(v[novelty] for v in iv.vectors[-5:]) / 5
+    assert first > steady
+
+
+def test_cluster_intervals_deterministic_and_complete():
+    iv = fingerprint_intervals("cceh", 75, ops_per_thread=1200)
+    plan_a = cluster_intervals(iv.vectors, 6)
+    plan_b = cluster_intervals(iv.vectors, 6)
+    assert plan_a.labels == plan_b.labels
+    assert plan_a.representatives == plan_b.representatives
+    assert sum(plan_a.counts) == iv.num_intervals
+    for cluster, rep in enumerate(plan_a.representatives):
+        assert plan_a.labels[rep] == cluster
+
+
+def test_cluster_k_clamped():
+    plan = cluster_intervals([[0.0], [1.0], [2.0]], 10)
+    assert plan.num_phases <= 3
+
+
+def test_merge_segments():
+    assert _merge_segments([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+    assert _merge_segments([(5, 8), (0, 2)]) == [(0, 2), (5, 8)]
+
+
+def test_sample_config_validation():
+    with pytest.raises(ValueError):
+        SampleConfig(interval_ops=0)
+    with pytest.raises(ValueError):
+        SampleConfig(clusters=0)
+    with pytest.raises(ValueError):
+        SampleConfig(tail_intervals=0)
+
+
+def test_run_sampled_small_cell():
+    """End-to-end sampled run: estimates exist and are positive where
+    the full machine must have done work."""
+    report = run_sampled(
+        "queue", "asap_rp", ops_per_thread=800,
+        config=SampleConfig(interval_ops=50),
+    )
+    assert report.ops_simulated < report.ops_total
+    assert report.estimates["cycles"].value > 0
+    assert report.estimates["cache_hits"].value > 0
+    assert 0 <= report.estimates["cycles"].margin <= 1
+    doc = report.to_dict()
+    assert doc["workload"] == "queue"
+    assert doc["ops_ratio"] == report.ops_ratio
+
+
+def test_run_sampled_deterministic():
+    cfg = SampleConfig(interval_ops=50)
+    a = run_sampled("queue", "asap_rp", ops_per_thread=600, config=cfg)
+    b = run_sampled("queue", "asap_rp", ops_per_thread=600, config=cfg)
+    assert a.to_dict() == b.to_dict()
