@@ -215,6 +215,26 @@ def run_sampled_case(
     )
 
 
+def run_named_case(item: Tuple[str, str, int]) -> BenchResult:
+    """Module-level trampoline: run one ``(suite, case_name, reps)``.
+
+    Bench cases close over lambdas, so they do not pickle; this resolves
+    the case by name inside the worker instead, which is what lets a
+    suite fan out over process executors and the fabric's generic
+    ``call`` task kind.
+    """
+    suite, name, reps = item
+    if suite == "sampled":
+        for workload, model, ops, overrides in SAMPLED_CELLS:
+            if f"sampled/{workload}/{model}" == name:
+                return run_sampled_case(workload, model, ops, overrides, reps)
+        raise KeyError(f"unknown sampled case {name!r}")
+    for case in suite_cases(suite):
+        if case.name == name:
+            return run_case(case, reps)
+    raise KeyError(f"unknown case {name!r} in suite {suite!r}")
+
+
 def run_case(case: BenchCase, reps: int) -> BenchResult:
     """Measure one case: best wall time of ``reps`` repetitions."""
     best_wall = float("inf")
@@ -243,9 +263,30 @@ def run_suite(
     suite: str,
     reps: int = 3,
     progress: Callable[[str, BenchResult], None] = lambda name, result: None,
+    executor=None,
 ) -> BenchRecord:
-    """Run every case of ``suite`` and assemble the canonical record."""
+    """Run every case of ``suite`` and assemble the canonical record.
+
+    With ``executor`` (e.g. a :class:`repro.fabric.FabricExecutor`) the
+    cases fan out as ``(suite, name, reps)`` items through
+    :func:`run_named_case`.  Wall-clock numbers then come from separate
+    worker processes -- fine for throughput surveys, but the CI perf
+    gate keeps the serial path for minimal measurement noise.
+    """
     results: List[BenchResult] = []
+    if executor is not None:
+        if suite == "sampled":
+            names = [
+                f"sampled/{w}/{m}" for w, m, _ops, _o in SAMPLED_CELLS
+            ]
+        else:
+            names = [case.name for case in suite_cases(suite)]
+        results = executor.map(
+            run_named_case, [(suite, name, reps) for name in names]
+        )
+        for result in results:
+            progress(result.name, result)
+        return BenchRecord.build(suite=suite, results=results)
     if suite == "sampled":
         # sampled cases produce their own BenchResult (they time the
         # sampled run, not the validating full run beside it).
@@ -272,6 +313,7 @@ __all__ = [
     "macro_cases",
     "micro_cases",
     "run_case",
+    "run_named_case",
     "run_sampled_case",
     "run_suite",
     "suite_cases",

@@ -351,12 +351,16 @@ def run_campaign(
     sinks: Optional[List] = None,
     save_dir: Optional[str] = None,
     minimize: bool = True,
+    executor=None,
 ) -> CampaignReport:
     """Sweep every (workload, model) cell and adjudicate every point.
 
     ``cache`` is a :class:`repro.exp.cache.ResultCache` (or None);
     ``sinks`` receive one ``CRASH_POINT`` event per adjudicated point;
     ``save_dir`` is where minimized failing states are serialized.
+    ``executor`` overrides ``jobs`` when given -- passing a
+    :class:`repro.fabric.FabricExecutor` runs the sweep on the
+    fault-tolerant fabric with byte-identical output.
     """
     machine = machine or MachineConfig()
     specs_by_cell: Dict[Tuple[str, str], List[CrashPointSpec]] = {}
@@ -405,7 +409,7 @@ def run_campaign(
             results[spec.key()] = cached
         else:
             pending.append(spec)
-    executor = make_executor(jobs)
+    executor = executor or make_executor(jobs)
     for spec, result in zip(pending, executor.map(execute_crash_point, pending)):
         results[spec.key()] = result
         if cache is not None:

@@ -19,8 +19,14 @@ this package:
   :class:`SweepResult` with the figures' normalization helpers.
 """
 
-from repro.exp.cache import ResultCache
-from repro.exp.executors import ParallelExecutor, SerialExecutor, make_executor
+from repro.exp.cache import ResultCache, SupportsKey
+from repro.exp.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerDiedError,
+    make_executor,
+)
 from repro.exp.plan import (
     ExperimentPlan,
     PlanResult,
@@ -31,13 +37,16 @@ from repro.exp.plan import (
 from repro.exp.spec import RunSpec, execute_spec
 
 __all__ = [
+    "Executor",
     "ExperimentPlan",
     "ParallelExecutor",
     "PlanResult",
     "ResultCache",
     "RunSpec",
     "SerialExecutor",
+    "SupportsKey",
     "SweepResult",
+    "WorkerDiedError",
     "execute_spec",
     "make_executor",
     "run_grid",

@@ -25,16 +25,29 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Protocol, Union
 
-from repro.exp.spec import RunSpec
-from repro.workloads.base import WorkloadResult
+
+class SupportsKey(Protocol):
+    """Any content-hashable spec the cache can store results under.
+
+    :class:`~repro.exp.spec.RunSpec`, :class:`~repro.crashtest.campaign.
+    CrashPointSpec` and :class:`~repro.litmus.spec.LitmusSpec` all
+    satisfy this, which is what lets one cache directory act as the
+    fabric's shared store across every task kind.
+    """
+
+    def key(self) -> str: ...
+
+    def describe(self) -> Dict[str, Any]: ...
+
+    def label(self) -> str: ...
 
 
 class ResultCache:
     """Content-addressed store of completed experiment cells."""
 
-    def __init__(self, root: Union[str, os.PathLike]) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
@@ -48,7 +61,7 @@ class ResultCache:
     def _meta_path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
-    def __contains__(self, spec: RunSpec) -> bool:
+    def __contains__(self, spec: SupportsKey) -> bool:
         return self._result_path(spec.key()).exists()
 
     def __len__(self) -> int:
@@ -56,7 +69,7 @@ class ResultCache:
 
     # -- access -------------------------------------------------------------
 
-    def get(self, spec: RunSpec) -> Optional[WorkloadResult]:
+    def get(self, spec: SupportsKey) -> Optional[Any]:
         """Return the cached result for ``spec``, or None on a miss.
 
         A corrupt/truncated entry (e.g. a killed writer on a filesystem
@@ -79,7 +92,7 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, spec: RunSpec, result: WorkloadResult) -> None:
+    def put(self, spec: SupportsKey, result: Any) -> None:
         key = spec.key()
         self._atomic_write(
             self._result_path(key), pickle.dumps(result, protocol=4)
@@ -114,4 +127,4 @@ class ResultCache:
         return removed
 
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "SupportsKey"]

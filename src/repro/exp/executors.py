@@ -1,7 +1,7 @@
 """Pluggable execution backends for experiment plans.
 
 An executor maps a pure function over a list of items and returns the
-results *in input order*.  Two implementations:
+results *in input order*.  Implementations:
 
 - :class:`SerialExecutor` -- runs in-process, one item at a time.  Zero
   overhead; the default, and the reference semantics.
@@ -9,20 +9,44 @@ results *in input order*.  Two implementations:
   ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers.
   Simulation cells are CPU-bound pure Python, so processes (not threads)
   are the only way to use more than one core.
+- :class:`repro.fabric.executor.FabricExecutor` -- the fault-tolerant
+  distributed fabric; same :class:`Executor` protocol, survives worker
+  death (where :class:`ParallelExecutor` raises
+  :class:`WorkerDiedError`).
 
 Because every cell is deterministic given its :class:`~repro.exp.spec.
-RunSpec`, the two executors are interchangeable: same plan, same
-results, different wall-clock (see ``tests/exp/test_determinism.py``).
+RunSpec`, the executors are interchangeable: same plan, same results,
+different wall-clock (see ``tests/exp/test_determinism.py``).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Protocol, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class Executor(Protocol):
+    """What plan/campaign/litmus drivers require of an execution backend."""
+
+    jobs: int
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in input order."""
+        ...
+
+
+class WorkerDiedError(RuntimeError):
+    """A pool worker died (SIGKILL, OOM) before returning its results.
+
+    The process-pool backend cannot tell which items finished, so the
+    whole ``map`` is lost.  Re-run, or use the fabric executor
+    (``--fabric``), which retries the affected cells automatically.
+    """
 
 
 class SerialExecutor:
@@ -63,13 +87,21 @@ class ParallelExecutor:
         # worker in flight so uneven cell runtimes still balance.
         chunksize = max(1, len(items) // (workers * 4))
         with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+            try:
+                return list(pool.map(fn, items, chunksize=chunksize))
+            except BrokenProcessPool as exc:
+                raise WorkerDiedError(
+                    f"a worker process died while mapping {len(items)} "
+                    f"items over {workers} workers; partial results were "
+                    f"discarded (use the fabric executor for automatic "
+                    f"retry)"
+                ) from exc
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
 
 
-def make_executor(jobs: Optional[int] = None):
+def make_executor(jobs: Optional[int] = None) -> Executor:
     """``jobs`` semantics shared by the CLI and the drivers:
 
     ``None``/``0``/``1`` -> serial; ``N > 1`` -> N worker processes.
@@ -79,4 +111,10 @@ def make_executor(jobs: Optional[int] = None):
     return ParallelExecutor(jobs)
 
 
-__all__ = ["ParallelExecutor", "SerialExecutor", "make_executor"]
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "WorkerDiedError",
+    "make_executor",
+]

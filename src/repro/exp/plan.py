@@ -19,18 +19,20 @@ The lifecycle every driver (CLI ``compare``, the figure benchmarks,
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.models import ModelSpec, resolve_model
 from repro.exp.cache import ResultCache
-from repro.exp.executors import make_executor
+from repro.exp.executors import Executor, make_executor
 from repro.exp.spec import RunSpec, execute_spec
 from repro.sim.config import MachineConfig
 from repro.workloads.base import Workload, WorkloadResult
 
 WorkloadRef = Union[str, Type[Workload]]
 ModelRef = Union[str, ModelSpec]
+CacheRef = Union[ResultCache, str, "os.PathLike[str]"]
 
 
 @dataclass(frozen=True)
@@ -45,7 +47,7 @@ class ExperimentPlan:
     def __len__(self) -> int:
         return len(self.specs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RunSpec]:
         return iter(self.specs)
 
     @classmethod
@@ -86,7 +88,7 @@ class PlanResult:
     cache_hits: int = 0
     cache_misses: int = 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[RunSpec, WorkloadResult]]:
         return iter(zip(self.plan.specs, self.results))
 
     def __len__(self) -> int:
@@ -96,15 +98,15 @@ class PlanResult:
 def run_plan(
     plan: ExperimentPlan,
     jobs: Optional[int] = None,
-    cache: Optional[Union[ResultCache, str]] = None,
-    executor=None,
+    cache: Optional[CacheRef] = None,
+    executor: Optional[Executor] = None,
 ) -> PlanResult:
     """Execute every cell of ``plan``; return results in plan order.
 
     Cached cells are served without touching the executor; only misses
     are fanned out.  ``executor`` overrides ``jobs`` when given.
     """
-    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+    if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     executor = executor or make_executor(jobs)
 
@@ -148,7 +150,7 @@ class SweepResult:
     workloads: List[str]
     models: List[str]
     #: (workload, model) -> full run result.
-    runs: Dict[tuple, WorkloadResult] = field(default_factory=dict)
+    runs: Dict[Tuple[str, str], WorkloadResult] = field(default_factory=dict)
 
     def runtime(self, workload: str, model: str) -> int:
         return self.runs[(workload, model)].runtime_cycles
@@ -178,8 +180,8 @@ def run_grid(
     num_threads: Optional[int] = None,
     seed: int = 7,
     jobs: Optional[int] = None,
-    cache: Optional[Union[ResultCache, str]] = None,
-    executor=None,
+    cache: Optional[CacheRef] = None,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Run every workload under every model; the standard figure driver.
 

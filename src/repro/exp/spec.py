@@ -27,7 +27,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Optional, Type, Union
+from typing import Any, Dict, Optional, Type, Union
 
 from repro.core.models import ModelSpec, resolve_model
 from repro.sim.config import MachineConfig, RunConfig
@@ -123,13 +123,13 @@ class RunSpec:
 
     # -- identity -----------------------------------------------------------
 
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         """Deterministic, JSON-serializable identity of this spec.
 
         The model's display name is deliberately excluded: ``hops`` and
         ``hops_rp`` are the same design and must share a cache entry.
         """
-        d = {
+        d: Dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
             "workload": self.workload,
             "hardware": self.model.hardware.value,

@@ -25,7 +25,7 @@ from repro.axiom.allowed import allowed_states
 from repro.axiom.program import LitmusTest, format_state
 from repro.core.models import RP_MODELS, ModelSpec
 from repro.exp.cache import ResultCache
-from repro.exp.executors import make_executor
+from repro.exp.executors import Executor, make_executor
 from repro.litmus.report import CellDiff, LitmusReport
 from repro.litmus.spec import (
     LitmusCellResult,
@@ -45,6 +45,10 @@ class LitmusRunOptions:
     machine: MachineConfig = field(default_factory=MachineConfig)
     jobs: Optional[int] = None
     cache_dir: Optional[Union[str, Path]] = None
+    #: overrides ``jobs`` when set -- e.g. a
+    #: :class:`repro.fabric.FabricExecutor` to run the enumeration on
+    #: the fault-tolerant fabric.
+    executor: Optional[Executor] = None
 
 
 def run_litmus(
@@ -90,7 +94,7 @@ def run_litmus(
         else:
             missing.append(index)
     if missing:
-        executor = make_executor(options.jobs)
+        executor = options.executor or make_executor(options.jobs)
         fresh = executor.map(
             execute_litmus_spec, [specs[index] for index in missing]
         )

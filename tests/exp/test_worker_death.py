@@ -1,0 +1,79 @@
+"""Worker death in the classic process-pool executor.
+
+A SIGKILLed pool worker (OOM killer, operator error) must surface as a
+prompt, descriptive :class:`repro.exp.WorkerDiedError` -- never a hang
+and never a bare ``BrokenProcessPool`` leaking implementation detail.
+(The fabric executor goes further and *retries*; see
+``tests/fabric/test_scheduler.py``.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.exp import (
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerDiedError,
+    make_executor,
+)
+
+#: hard cap; the whole point is that worker death must not hang.
+HARD_TIMEOUT_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout():
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no guard available
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {HARD_TIMEOUT_S}s hard timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _suicide(x: int) -> int:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return x  # pragma: no cover -- never reached
+
+
+def _ok(x: int) -> int:
+    return x + 1
+
+
+def test_killed_worker_raises_worker_died_error():
+    executor = ParallelExecutor(jobs=2)
+    with pytest.raises(WorkerDiedError, match="worker process died"):
+        executor.map(_suicide, list(range(8)))
+
+
+def test_error_mentions_the_fabric_escape_hatch():
+    executor = ParallelExecutor(jobs=2)
+    with pytest.raises(WorkerDiedError, match="fabric"):
+        executor.map(_suicide, list(range(4)))
+
+
+def test_healthy_pool_is_unaffected():
+    assert ParallelExecutor(jobs=2).map(_ok, [1, 2, 3]) == [2, 3, 4]
+
+
+def test_make_executor_jobs_semantics():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(0), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    parallel = make_executor(3)
+    assert isinstance(parallel, ParallelExecutor)
+    assert parallel.jobs == 3

@@ -1,0 +1,37 @@
+"""Shared guard for the fabric suite.
+
+Every test here spawns real worker processes and some deliberately
+SIGKILL them, so a scheduling bug shows up as a hang, not a failure.
+The autouse SIGALRM alarm turns any hang into a loud TimeoutError well
+inside the CI job timeout.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: hard cap per test; a wedged fabric must fail, not hang CI.
+HARD_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout():
+    """SIGALRM-based hard timeout (no pytest-timeout in the image)."""
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no guard available
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {HARD_TIMEOUT_S}s hard timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,82 @@
+"""FabricExecutor as a drop-in for every executor.map tenant.
+
+The invariant under test everywhere: running a campaign through the
+fabric produces the *same document bytes* as running it serially --
+executors are substrates, not semantics.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suites import run_named_case
+from repro.crashtest.campaign import run_campaign
+from repro.exp import ExperimentPlan, run_plan
+from repro.fabric import FabricExecutor, FabricScheduler
+from repro.litmus import LitmusRunOptions, run_litmus, smoke_corpus
+
+
+def test_run_plan_over_fabric_matches_serial():
+    plan = ExperimentPlan.grid(
+        ["queue", "heap"], ["baseline", "asap_rp"], ops_per_thread=20
+    )
+    serial = run_plan(plan)
+    fabric = run_plan(plan, executor=FabricExecutor(jobs=2))
+    assert [r.fingerprint() for r in serial.results] == [
+        r.fingerprint() for r in fabric.results
+    ]
+
+
+def test_run_campaign_over_fabric_is_byte_identical():
+    kwargs = dict(
+        workloads=["queue"], models=["asap_rp"], points=5,
+        ops_per_thread=10,
+    )
+    serial = run_campaign(**kwargs)
+    fabric = run_campaign(**kwargs, executor=FabricExecutor(jobs=2))
+    assert serial.to_json() == fabric.to_json()
+
+
+def test_run_litmus_over_fabric_is_byte_identical():
+    tests = smoke_corpus()[:2]
+    serial = run_litmus(tests, LitmusRunOptions(points=4))
+    fabric = run_litmus(
+        tests,
+        LitmusRunOptions(points=4, executor=FabricExecutor(jobs=2)),
+    )
+    assert serial.to_json() == fabric.to_json()
+
+
+def test_bench_case_runs_through_generic_call_kind():
+    executor = FabricExecutor(jobs=2)
+    results = executor.map(
+        run_named_case,
+        [("smoke", "macro/nstore/baseline", 1),
+         ("smoke", "macro/nstore/asap_rp", 1)],
+    )
+    assert [r.name for r in results] == [
+        "macro/nstore/baseline", "macro/nstore/asap_rp"
+    ]
+    assert all(r.ops > 0 and r.events > 0 for r in results)
+
+
+def test_attached_executor_reuses_one_scheduler():
+    with FabricScheduler(jobs=2) as scheduler:
+        executor = FabricExecutor(scheduler=scheduler)
+        assert executor.jobs == scheduler.jobs
+        plan = ExperimentPlan.grid(["queue"], ["asap_rp"],
+                                   ops_per_thread=15)
+        first = run_plan(plan, executor=executor)
+        second = run_plan(plan, executor=executor)
+        counters = scheduler.counters_snapshot()
+    # the second plan's cells deduped onto the first's tasks in the
+    # shared scheduler rather than spawning a second pool.
+    assert counters["tasks_submitted"] == 1
+    assert counters["tasks_deduped"] == 1
+    assert [r.fingerprint() for r in first.results] == [
+        r.fingerprint() for r in second.results
+    ]
+
+
+def test_ephemeral_executor_records_counters():
+    executor = FabricExecutor(jobs=2)
+    executor.map(run_named_case, [("smoke", "macro/nstore/baseline", 1)])
+    assert executor.last_counters["tasks_completed"] == 1

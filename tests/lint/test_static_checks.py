@@ -26,8 +26,9 @@ def test_ruff_clean_on_typed_packages():
         [sys.executable, "-m", "ruff", "check", "src/repro/lint",
          "src/repro/workloads", "src/repro/sim", "src/repro/bench",
          "src/repro/axiom", "src/repro/litmus", "src/repro/report",
+         "src/repro/exp", "src/repro/fabric",
          "tests/lint", "tests/bench", "tests/axiom", "tests/litmus",
-         "tests/report"],
+         "tests/report", "tests/exp", "tests/fabric"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -38,7 +39,8 @@ def test_ruff_clean_on_typed_packages():
 @pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
 @pytest.mark.parametrize(
     "package", ["src/repro/lint", "src/repro/sim", "src/repro/bench",
-                "src/repro/axiom", "src/repro/litmus", "src/repro/report"]
+                "src/repro/axiom", "src/repro/litmus", "src/repro/report",
+                "src/repro/exp", "src/repro/fabric"]
 )
 def test_mypy_strict_on_typed_packages(package):
     proc = subprocess.run(
